@@ -1,0 +1,38 @@
+//! Ablation A1: aggregation-buffer size vs adaptation quality and storage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soclearn_core::experiments::{buffer_ablation, ExperimentScale};
+use soclearn_core::report::render_table;
+
+fn bench(c: &mut Criterion) {
+    let rows = buffer_ablation(ExperimentScale::Full, &[10, 25, 50, 100, 200, 400]);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.buffer_capacity.to_string(),
+                format!("{:.3}", r.normalized_energy),
+                format!("{} B", r.peak_buffer_bytes),
+                r.policy_updates.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_table(
+            "A1: aggregation-buffer size ablation",
+            &["Buffer entries", "Energy vs Oracle", "Peak storage", "Policy updates"],
+            &table
+        )
+    );
+
+    let mut group = c.benchmark_group("ablation_buffer");
+    group.sample_size(10);
+    group.bench_function("buffer_ablation_quick", |b| {
+        b.iter(|| buffer_ablation(ExperimentScale::Quick, &[25, 100]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

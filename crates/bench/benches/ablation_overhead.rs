@@ -1,0 +1,27 @@
+//! Ablation A2: per-decision runtime overhead of every policy family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soclearn_core::experiments::{overhead_ablation, ExperimentScale};
+use soclearn_core::report::render_table;
+
+fn bench(c: &mut Criterion) {
+    let rows = overhead_ablation(ExperimentScale::Full);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.policy.clone(), format!("{:.1} us", r.mean_decision_ns / 1000.0)])
+        .collect();
+    println!(
+        "\n{}",
+        render_table("A2: mean decision latency per policy", &["Policy", "Latency"], &table)
+    );
+
+    let mut group = c.benchmark_group("ablation_overhead");
+    group.sample_size(10);
+    group.bench_function("overhead_ablation_quick", |b| {
+        b.iter(|| overhead_ablation(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

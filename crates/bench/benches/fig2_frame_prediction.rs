@@ -1,0 +1,23 @@
+//! Regenerates Figure 2 (online frame-time prediction) and times the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soclearn_core::experiments::{frame_time_prediction, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let full = frame_time_prediction(ExperimentScale::Full);
+    println!(
+        "\nFigure 2: {} frames, frame-time prediction MAPE {:.2}% (paper: < 5%)\n",
+        full.measured_ms.len(),
+        full.mape_percent
+    );
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(20);
+    group.bench_function("frame_time_prediction_quick", |b| {
+        b.iter(|| frame_time_prediction(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

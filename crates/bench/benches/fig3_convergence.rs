@@ -1,0 +1,30 @@
+//! Regenerates Figure 3 (online-IL vs RL convergence) and times the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soclearn_core::experiments::{convergence_comparison, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let full = convergence_comparison(ExperimentScale::Full);
+    let last = |v: &Vec<f64>| *v.last().unwrap_or(&0.0);
+    println!("\nFigure 3: sequence of {:.1} s simulated execution", full.sequence_time_s);
+    println!(
+        "  online-IL: final accuracy {:.0}%, time to 90% = {:?} s",
+        100.0 * last(&full.online_il.accuracy),
+        full.online_il.time_to_90_percent_s
+    );
+    println!(
+        "  RL:        final accuracy {:.0}%, time to 90% = {:?} s\n",
+        100.0 * last(&full.rl.accuracy),
+        full.rl.time_to_90_percent_s
+    );
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("convergence_comparison_quick", |b| {
+        b.iter(|| convergence_comparison(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Figure 4 (per-benchmark energy of online-IL and RL vs Oracle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soclearn_core::experiments::{energy_comparison, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let full = energy_comparison(ExperimentScale::Full);
+    println!("\n{}", full.render());
+    let (il_worst, rl_worst) = full.worst_case();
+    println!("Worst case vs Oracle: online-IL {il_worst:.2}x, RL {rl_worst:.2}x\n");
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("energy_comparison_quick", |b| {
+        b.iter(|| energy_comparison(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Figure 5 (explicit-NMPC energy savings) and times the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soclearn_core::experiments::{enmpc_savings, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let full = enmpc_savings(ExperimentScale::Full);
+    println!("\n{}", full.render());
+    let (gpu, pkg, pkg_dram) = full.averages();
+    println!(
+        "Averages: GPU {:.1}%, PKG {:.1}%, PKG+DRAM {:.1}%, perf overhead {:.2}%\n",
+        gpu * 100.0,
+        pkg * 100.0,
+        pkg_dram * 100.0,
+        full.mean_performance_overhead() * 100.0
+    );
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("enmpc_savings_quick", |b| {
+        b.iter(|| enmpc_savings(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates the NoC latency-model comparison (Section III-C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soclearn_core::experiments::{noc_latency_models, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let full = noc_latency_models(ExperimentScale::Full);
+    println!("\n{}", full.render());
+
+    let mut group = c.benchmark_group("noc");
+    group.sample_size(10);
+    group.bench_function("noc_latency_models_quick", |b| {
+        b.iter(|| noc_latency_models(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Table II (offline-IL generalisation gap) and times the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soclearn_core::experiments::{offline_il_generalization, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let full = offline_il_generalization(ExperimentScale::Full);
+    println!("\n{}", full.render());
+    println!(
+        "Suite means: Mi-Bench {:.2}, Cortex {:.2}, PARSEC {:.2}\n",
+        full.suite_mean("Mi-Bench"),
+        full.suite_mean("Cortex"),
+        full.suite_mean("PARSEC")
+    );
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("offline_il_generalization_quick", |b| {
+        b.iter(|| offline_il_generalization(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

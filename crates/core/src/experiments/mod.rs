@@ -1,0 +1,71 @@
+//! Reproduction of every table and figure in the paper's evaluation.
+//!
+//! Each sub-module regenerates one experiment and returns a serialisable
+//! result struct whose rows mirror what the paper reports; the Criterion
+//! benches in `soclearn-bench` and the runnable examples print these rows.
+//! Every experiment accepts an [`ExperimentScale`] so the same code path can
+//! run as a fast smoke test (CI) or at full fidelity (benchmark harness).
+//!
+//! | Experiment | Paper reference | Module |
+//! |---|---|---|
+//! | Offline-IL generalisation gap | Table II | [`table2`] |
+//! | Online frame-time prediction | Figure 2 | [`fig2`] |
+//! | Online-IL vs RL convergence | Figure 3 | [`fig3`] |
+//! | Online-IL vs RL energy | Figure 4 | [`fig4`] |
+//! | Explicit-NMPC energy savings | Figure 5 | [`fig5`] |
+//! | NoC latency models | Section III-C | [`noc`] |
+//! | Buffer-size and overhead ablations | Sections IV-A3 / IV-B | [`ablations`] |
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod helpers;
+pub mod noc;
+pub mod table2;
+
+use serde::{Deserialize, Serialize};
+
+/// How much work an experiment should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    /// Reduced workload sizes; suitable for unit/integration tests.
+    Quick,
+    /// Full workload sizes used by the benchmark harness and EXPERIMENTS.md.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Number of snippets to keep per benchmark (caps the sequence length).
+    pub fn snippets_per_benchmark(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 10,
+            ExperimentScale::Full => usize::MAX,
+        }
+    }
+
+    /// Number of frames per graphics workload.
+    pub fn frames_per_workload(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 120,
+            ExperimentScale::Full => 600,
+        }
+    }
+
+    /// Simulated cycles per NoC measurement point.
+    pub fn noc_cycles(&self) -> u64 {
+        match self {
+            ExperimentScale::Quick => 10_000,
+            ExperimentScale::Full => 40_000,
+        }
+    }
+}
+
+pub use ablations::{buffer_ablation, overhead_ablation, BufferAblationRow, OverheadRow};
+pub use fig2::{frame_time_prediction, Fig2Result};
+pub use fig3::{convergence_comparison, Fig3Result};
+pub use fig4::{energy_comparison, Fig4Result, Fig4Row};
+pub use fig5::{enmpc_savings, Fig5Result, Fig5Row};
+pub use noc::{noc_latency_models, NocModelRow, NocModelsResult};
+pub use table2::{offline_il_generalization, Table2Result, Table2Row};

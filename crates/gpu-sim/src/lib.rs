@@ -1,0 +1,42 @@
+//! Integrated-GPU subsystem simulator.
+//!
+//! Section IV-B of the DAC 2020 paper manages an Intel integrated GPU with two
+//! coordinated control knobs: DVFS (frequency/voltage of the GPU domain) and
+//! power gating of individual GPU *slices*, under a frames-per-second
+//! constraint.  The evaluation platform (Intel Core i5 with Gen-class
+//! graphics) is not available here, so this crate provides the substitute: a
+//! frame-based analytical simulator with
+//!
+//! * a configurable number of slices that work can parallelise across,
+//! * a DVFS table with a voltage–frequency curve and `C·V²·f` power,
+//! * per-frame deadlines derived from the workload's FPS target,
+//! * transition costs for slice power-gating (slow, expensive) and DVFS
+//!   changes (fast, cheap), which is exactly the asymmetry that motivates the
+//!   paper's multi-rate controller,
+//! * package (CPU + uncore) and DRAM energy accounting so the Figure 5
+//!   PKG / PKG+DRAM rows can be reproduced.
+//!
+//! # Example
+//!
+//! ```
+//! use soclearn_gpu_sim::{GpuConfig, GpuPlatform, GpuSimulator};
+//! use soclearn_workloads::graphics::FrameDemand;
+//!
+//! let mut sim = GpuSimulator::new(GpuPlatform::gen9_like());
+//! let frame = FrameDemand::new(5.0e9, 0.9, 1.0e7);
+//! let result = sim.render_frame(&frame, GpuConfig::new(3, 5), 1.0 / 30.0);
+//! assert!(result.gpu_busy_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod counters;
+pub mod platform;
+pub mod simulator;
+
+pub use controller::{GpuController, UtilizationGovernor};
+pub use counters::GpuFrameCounters;
+pub use platform::{GpuConfig, GpuPlatform};
+pub use simulator::{FrameResult, GpuSimulator, WorkloadRun};

@@ -1,0 +1,436 @@
+//! Model-guided online imitation learning.
+//!
+//! The online-IL policy (Section IV-A3 of the paper) keeps adapting after
+//! deployment:
+//!
+//! 1. after every snippet the online power and performance models (RLS with
+//!    forgetting) are updated from the observed counters,
+//! 2. before every decision the models estimate the energy of candidate
+//!    configurations in a local neighbourhood of the current configuration,
+//!    reusing the observed counters across candidates,
+//! 3. the best candidate becomes the runtime approximation of the Oracle; the
+//!    pair (state, best candidate) is appended to an aggregation buffer,
+//! 4. when the buffer is full the policy network is re-trained by
+//!    back-propagation on its contents and the buffer is cleared.
+//!
+//! The buffer size trades adaptation accuracy against memory: the paper
+//! reports that ~100 entries give close to 100% accuracy at under 20 KB of
+//! storage, which the [`OnlineIlStats::buffer_bytes`] accounting reproduces.
+
+use serde::{Deserialize, Serialize};
+use soclearn_online_learning::mlp::Mlp;
+use soclearn_online_learning::rls::RecursiveLeastSquares;
+use soclearn_online_learning::scaler::StandardScaler;
+use soclearn_online_learning::traits::{Classifier, OnlineRegressor};
+use soclearn_soc_sim::{ClusterKind, DvfsConfig, DvfsPolicy, PolicyDecision, SocPlatform};
+
+use crate::features::{candidate_features, policy_features, CANDIDATE_FEATURE_DIM};
+use crate::offline::OfflineIlPolicy;
+
+/// Tunable parameters of the online-IL methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineIlConfig {
+    /// Number of (state, label) pairs aggregated before the policy is re-trained.
+    pub buffer_capacity: usize,
+    /// Radius (in DVFS levels per cluster) of the candidate neighbourhood.
+    pub neighbourhood_radius: usize,
+    /// Number of model updates required before the analytical models are trusted
+    /// to supervise the policy.
+    pub model_warmup: usize,
+    /// Back-propagation epochs over the buffer at each policy update.
+    pub update_epochs: usize,
+    /// Forgetting factor of the online power/performance models.
+    pub forgetting_factor: f64,
+}
+
+impl Default for OnlineIlConfig {
+    fn default() -> Self {
+        Self {
+            buffer_capacity: 100,
+            neighbourhood_radius: 1,
+            model_warmup: 5,
+            update_epochs: 8,
+            forgetting_factor: 0.97,
+        }
+    }
+}
+
+/// Runtime statistics of an online-IL policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OnlineIlStats {
+    /// Total number of decisions taken.
+    pub decisions: usize,
+    /// Decisions where the policy already agreed with the runtime Oracle label.
+    pub agreements: usize,
+    /// Number of policy re-training events (buffer flushes).
+    pub policy_updates: usize,
+    /// Approximate storage footprint of the aggregation buffer, in bytes.
+    pub buffer_bytes: usize,
+}
+
+impl OnlineIlStats {
+    /// Fraction of decisions that agreed with the runtime Oracle label.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.agreements as f64 / self.decisions as f64
+        }
+    }
+}
+
+/// The model-guided online imitation-learning policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineIlPolicy {
+    scaler: StandardScaler,
+    little_mlp: Mlp,
+    big_mlp: Mlp,
+    power_model: RecursiveLeastSquares,
+    time_model: RecursiveLeastSquares,
+    buffer: Vec<(Vec<f64>, DvfsConfig)>,
+    config: OnlineIlConfig,
+    stats: OnlineIlStats,
+    last_time_s: Option<f64>,
+    name: String,
+}
+
+impl OnlineIlPolicy {
+    /// Builds the online policy from an MLP-backed offline policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offline policy is tree-backed (see
+    /// [`OfflineIlPolicy::into_mlp_parts`]).
+    pub fn from_offline(offline: OfflineIlPolicy, config: OnlineIlConfig) -> Self {
+        let (scaler, little_mlp, big_mlp) = offline.into_mlp_parts();
+        Self {
+            scaler,
+            little_mlp,
+            big_mlp,
+            power_model: RecursiveLeastSquares::new(CANDIDATE_FEATURE_DIM, config.forgetting_factor),
+            time_model: RecursiveLeastSquares::new(CANDIDATE_FEATURE_DIM, config.forgetting_factor),
+            buffer: Vec::with_capacity(config.buffer_capacity),
+            config,
+            stats: OnlineIlStats::default(),
+            last_time_s: None,
+            name: "online-il".to_owned(),
+        }
+    }
+
+    /// Bootstraps the online power and performance models from design-time data,
+    /// exactly as the paper constructs them offline before deployment: every
+    /// profile is evaluated at every configuration of the platform and the
+    /// resulting (counters, power, time) observations seed the RLS models.
+    pub fn pretrain_models(
+        &mut self,
+        sim: &soclearn_soc_sim::SocSimulator,
+        profiles: &[soclearn_workloads::SnippetProfile],
+    ) {
+        let configs = sim.platform().configs();
+        for profile in profiles {
+            // Evaluate the profile once at every configuration, then train the models
+            // on every (observation point, candidate) pair so they learn exactly the
+            // extrapolation they are asked to perform at run time.
+            let results: Vec<_> = configs.iter().map(|&c| sim.evaluate_snippet(profile, c)).collect();
+            for observed in &results {
+                for target in &results {
+                    let f = candidate_features(
+                        sim.platform(),
+                        &observed.counters,
+                        observed.config,
+                        target.config,
+                    );
+                    self.power_model.update(&f, target.avg_power_w);
+                    self.time_model.update(&f, target.time_s);
+                }
+            }
+        }
+    }
+
+    /// Current runtime statistics.
+    pub fn stats(&self) -> OnlineIlStats {
+        self.stats
+    }
+
+    /// The configuration parameters the policy was created with.
+    pub fn config(&self) -> OnlineIlConfig {
+        self.config
+    }
+
+    /// Predicted energy (joules) of running the previously observed workload at the
+    /// candidate configuration, according to the online models.
+    pub fn estimate_energy(
+        &self,
+        platform: &SocPlatform,
+        counters: &soclearn_soc_sim::SnippetCounters,
+        observed: DvfsConfig,
+        candidate: DvfsConfig,
+    ) -> f64 {
+        let f = candidate_features(platform, counters, observed, candidate);
+        let power = self.power_model.predict(&f).max(0.05);
+        let time = self.time_model.predict(&f).max(1e-4);
+        power * time
+    }
+
+    fn policy_prediction(&self, platform: &SocPlatform, features: &[f64]) -> DvfsConfig {
+        let x = self.scaler.transform(features);
+        let little = self
+            .little_mlp
+            .predict_class(&x)
+            .min(platform.level_count(ClusterKind::Little) - 1);
+        let big = self.big_mlp.predict_class(&x).min(platform.level_count(ClusterKind::Big) - 1);
+        DvfsConfig::new(little, big)
+    }
+
+    fn retrain_from_buffer(&mut self) {
+        for _ in 0..self.config.update_epochs {
+            for (x, label) in &self.buffer {
+                let _ = self.little_mlp.train_classification(x, label.little_idx);
+                let _ = self.big_mlp.train_classification(x, label.big_idx);
+            }
+        }
+        self.buffer.clear();
+        self.stats.policy_updates += 1;
+        self.stats.buffer_bytes = 0;
+    }
+}
+
+impl DvfsPolicy for OnlineIlPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, platform: &SocPlatform, decision: PolicyDecision<'_>) -> DvfsConfig {
+        let counters = decision.counters;
+        let current = decision.current_config;
+
+        // 1. Update the online power/performance models with the snippet that just
+        //    executed under `current`.
+        if counters.instructions_retired > 0.0 {
+            let observed = candidate_features(platform, counters, current, current);
+            self.power_model.update(&observed, counters.total_chip_power_w);
+            if let Some(time_s) = self.last_time_s.take() {
+                self.time_model.update(&observed, time_s);
+            }
+        }
+
+        // 2. Policy proposal.
+        let features = policy_features(platform, counters, current);
+        let proposal = self.policy_prediction(platform, &features);
+
+        // 3. Runtime Oracle approximation over the local candidate neighbourhood.
+        let label = if counters.instructions_retired > 0.0
+            && self.power_model.samples_seen() >= self.config.model_warmup
+            && self.time_model.samples_seen() >= self.config.model_warmup
+        {
+            let mut candidates = platform.neighbourhood(current, self.config.neighbourhood_radius);
+            if !candidates.contains(&proposal) {
+                candidates.push(proposal);
+            }
+            candidates
+                .into_iter()
+                .min_by(|&a, &b| {
+                    self.estimate_energy(platform, counters, current, a)
+                        .partial_cmp(&self.estimate_energy(platform, counters, current, b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(proposal)
+        } else {
+            proposal
+        };
+
+        // 4. Aggregate the supervision and re-train when the buffer fills up.
+        self.stats.decisions += 1;
+        if label == proposal {
+            self.stats.agreements += 1;
+        }
+        let scaled = self.scaler.transform(&features);
+        self.stats.buffer_bytes += scaled.len() * std::mem::size_of::<f64>() + 2 * std::mem::size_of::<usize>();
+        self.buffer.push((scaled, label));
+        if self.buffer.len() >= self.config.buffer_capacity {
+            self.retrain_from_buffer();
+        }
+
+        proposal
+    }
+
+    fn observe_outcome(&mut self, _energy_j: f64, time_s: f64) {
+        self.last_time_s = Some(time_s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::PolicyModelKind;
+    use soclearn_oracle::{collect_demonstrations, OracleObjective, OracleRun};
+    use soclearn_soc_sim::{SnippetCounters, SocSimulator};
+    use soclearn_workloads::{ApplicationSequence, BenchmarkSuite, SuiteKind};
+
+    fn trained_online_policy(platform: &SocPlatform, config: OnlineIlConfig) -> OnlineIlPolicy {
+        let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 21);
+        let seq = ApplicationSequence::from_benchmarks(suite.benchmarks().iter().take(4));
+        let profiles: Vec<_> = seq.snippets().iter().map(|s| s.profile.clone()).collect();
+        let mut sim = SocSimulator::new(platform.clone());
+        let demos = collect_demonstrations(&mut sim, &profiles, OracleObjective::Energy);
+        let offline = OfflineIlPolicy::train(platform, &demos, PolicyModelKind::Mlp);
+        let mut online = OnlineIlPolicy::from_offline(offline, config);
+        online.pretrain_models(&SocSimulator::new(platform.clone()), &profiles);
+        online
+    }
+
+    /// Runs a policy over a snippet sequence and returns (energy, per-step decisions).
+    fn run_policy(
+        platform: &SocPlatform,
+        policy: &mut dyn DvfsPolicy,
+        profiles: &[soclearn_workloads::SnippetProfile],
+    ) -> (f64, Vec<DvfsConfig>) {
+        let mut sim = SocSimulator::new(platform.clone());
+        let mut counters = SnippetCounters::default();
+        let mut config = platform.max_config();
+        let mut total = 0.0;
+        let mut decisions = Vec::new();
+        for (i, p) in profiles.iter().enumerate() {
+            config = policy.decide(platform, PolicyDecision::new(&counters, config, i));
+            let r = sim.execute_snippet(p, config);
+            policy.observe_outcome(r.energy_j, r.time_s);
+            counters = r.counters;
+            total += r.energy_j;
+            decisions.push(config);
+        }
+        (total, decisions)
+    }
+
+    fn unseen_profiles() -> Vec<soclearn_workloads::SnippetProfile> {
+        let parsec = BenchmarkSuite::generate(SuiteKind::Parsec, 33);
+        let cortex = BenchmarkSuite::generate(SuiteKind::Cortex, 33);
+        let seq = ApplicationSequence::from_benchmarks(
+            cortex.benchmarks().iter().chain(parsec.benchmarks().iter()),
+        );
+        seq.snippets().iter().map(|s| s.profile.clone()).collect()
+    }
+
+    #[test]
+    fn online_policy_beats_frozen_offline_policy_on_unseen_suite() {
+        let platform = SocPlatform::small();
+        let profiles = unseen_profiles();
+
+        // Frozen offline policy (tree) as the non-adaptive reference.
+        let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 21);
+        let seq = ApplicationSequence::from_benchmarks(suite.benchmarks().iter().take(4));
+        let train_profiles: Vec<_> = seq.snippets().iter().map(|s| s.profile.clone()).collect();
+        let mut sim = SocSimulator::new(platform.clone());
+        let demos = collect_demonstrations(&mut sim, &train_profiles, OracleObjective::Energy);
+        let mut frozen = OfflineIlPolicy::train(&platform, &demos, PolicyModelKind::Mlp);
+
+        let mut online = trained_online_policy(
+            &platform,
+            OnlineIlConfig { buffer_capacity: 20, ..OnlineIlConfig::default() },
+        );
+
+        let (frozen_energy, _) = run_policy(&platform, &mut frozen, &profiles);
+        let (online_energy, _) = run_policy(&platform, &mut online, &profiles);
+
+        let mut oracle_sim = SocSimulator::new(platform.clone());
+        let oracle = OracleRun::execute(&mut oracle_sim, &profiles, OracleObjective::Energy);
+
+        let frozen_ratio = frozen_energy / oracle.total_energy_j;
+        let online_ratio = online_energy / oracle.total_energy_j;
+        assert!(
+            online_ratio < frozen_ratio,
+            "online IL ({online_ratio:.3}) should beat the frozen offline policy ({frozen_ratio:.3})"
+        );
+        assert!(online_ratio < 1.25, "online IL should end up near the Oracle ({online_ratio:.3})");
+        assert!(online.stats().policy_updates > 0, "the policy must actually re-train online");
+    }
+
+    #[test]
+    fn oracle_accuracy_exceeds_frozen_policy() {
+        // The Figure 3 claim: with online adaptation the policy's big-cluster
+        // frequency decisions agree with the true Oracle far more often than the
+        // frozen offline policy does on workloads outside the training suite.
+        let platform = SocPlatform::small();
+        let mut online = trained_online_policy(
+            &platform,
+            OnlineIlConfig { buffer_capacity: 15, ..OnlineIlConfig::default() },
+        );
+        let profiles = unseen_profiles();
+        let (_, online_decisions) = run_policy(&platform, &mut online, &profiles);
+
+        let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 21);
+        let seq = ApplicationSequence::from_benchmarks(suite.benchmarks().iter().take(4));
+        let train_profiles: Vec<_> = seq.snippets().iter().map(|s| s.profile.clone()).collect();
+        let mut sim = SocSimulator::new(platform.clone());
+        let demos = collect_demonstrations(&mut sim, &train_profiles, OracleObjective::Energy);
+        let mut frozen = OfflineIlPolicy::train(&platform, &demos, PolicyModelKind::Mlp);
+        let (_, frozen_decisions) = run_policy(&platform, &mut frozen, &profiles);
+
+        let mut oracle_sim = SocSimulator::new(platform.clone());
+        let oracle = OracleRun::execute(&mut oracle_sim, &profiles, OracleObjective::Energy);
+
+        let accuracy = |decisions: &[DvfsConfig]| {
+            decisions
+                .iter()
+                .zip(&oracle.decisions)
+                .filter(|(d, o)| d.big_idx == o.big_idx)
+                .count() as f64
+                / decisions.len() as f64
+        };
+        let online_acc = accuracy(&online_decisions);
+        let frozen_acc = accuracy(&frozen_decisions);
+        assert!(
+            online_acc > frozen_acc,
+            "online IL accuracy ({online_acc:.2}) should exceed the frozen policy ({frozen_acc:.2})"
+        );
+        assert!(online_acc > 0.5, "adapted policy should usually match the Oracle ({online_acc:.2})");
+        assert!(online.stats().agreement_rate() > 0.0);
+    }
+
+    #[test]
+    fn buffer_respects_capacity_and_stays_under_20kb() {
+        let platform = SocPlatform::small();
+        let config = OnlineIlConfig::default();
+        let mut online = trained_online_policy(&platform, config);
+        let profiles = unseen_profiles();
+        let mut max_bytes = 0usize;
+        let mut sim = SocSimulator::new(platform.clone());
+        let mut counters = SnippetCounters::default();
+        let mut current = platform.max_config();
+        for (i, p) in profiles.iter().enumerate() {
+            current = online.decide(&platform, PolicyDecision::new(&counters, current, i));
+            let r = sim.execute_snippet(p, current);
+            online.observe_outcome(r.energy_j, r.time_s);
+            counters = r.counters;
+            max_bytes = max_bytes.max(online.stats().buffer_bytes);
+            assert!(online.buffer.len() < config.buffer_capacity);
+        }
+        assert!(max_bytes > 0);
+        assert!(max_bytes < 20_000, "paper reports <20 KB buffer overhead, got {max_bytes}");
+    }
+
+    #[test]
+    fn energy_estimates_track_candidate_frequency_for_compute_work() {
+        let platform = SocPlatform::small();
+        let mut online = trained_online_policy(&platform, OnlineIlConfig::default());
+        // Warm the models with compute-bound observations at several configs.
+        let mut sim = SocSimulator::new(platform.clone());
+        let profile = soclearn_workloads::SnippetProfile::compute_bound(100_000_000);
+        let mut counters = SnippetCounters::default();
+        let mut current = platform.max_config();
+        for (i, &config) in platform.configs().iter().cycle().take(30).collect::<Vec<_>>().iter().enumerate()
+        {
+            current = *config;
+            let decision = PolicyDecision::new(&counters, current, i);
+            let _ = online.decide(&platform, decision);
+            let r = sim.execute_snippet(&profile, current);
+            online.observe_outcome(r.energy_j, r.time_s);
+            counters = r.counters;
+        }
+        // After warm-up the model-estimated energies should be finite and positive
+        // for every candidate.
+        for config in platform.configs() {
+            let e = online.estimate_energy(&platform, &counters, current, config);
+            assert!(e.is_finite() && e > 0.0);
+        }
+    }
+}

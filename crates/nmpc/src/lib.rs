@@ -1,0 +1,30 @@
+//! Nonlinear model predictive control (NMPC) and explicit NMPC for
+//! multi-variable GPU power management.
+//!
+//! Section IV-B of the DAC 2020 paper manages the integrated GPU with two
+//! knobs of very different cost: DVFS (cheap, fast) and slice power gating
+//! (slow, expensive).  The proposed controller is *multi-rate*:
+//!
+//! * a **slow-rate** controller re-plans the number of active slices and the
+//!   DVFS level every few frames by solving a constrained optimisation —
+//!   minimise predicted energy subject to the predicted frame time meeting the
+//!   FPS deadline — over learned *sensitivity models*;
+//! * a **fast-rate** controller nudges only the DVFS level every frame to
+//!   absorb prediction error.
+//!
+//! Solving the nonlinear program online is too expensive for firmware, so the
+//! paper's *explicit* NMPC approximates the optimal control surface with
+//! simple regression models evaluated in constant time.  Both controllers are
+//! implemented here behind the [`soclearn_gpu_sim::GpuController`] interface,
+//! together with the [`sensitivity`] models they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod explicit;
+pub mod sensitivity;
+
+pub use controller::{MultiRateNmpcController, NmpcSettings};
+pub use explicit::ExplicitNmpcController;
+pub use sensitivity::GpuSensitivityModel;

@@ -1,0 +1,37 @@
+//! Network-on-chip latency simulation and performance models.
+//!
+//! Section III-C of the DAC 2020 paper surveys NoC performance modelling:
+//! queueing-theory analytical models and machine-learning (support vector
+//! regression) models trained against simulation.  This crate provides all
+//! three pieces so the comparison can be regenerated end to end:
+//!
+//! * [`simulator`] — a 2-D mesh, XY-routed, store-and-forward queueing
+//!   simulator that measures average packet latency under synthetic traffic,
+//! * [`analytical`] — an M/D/1-style queueing model that predicts latency from
+//!   the same traffic description without simulation,
+//! * [`learned`] — an SVR-style (RBF kernel ridge) latency model trained on
+//!   simulator measurements augmented with the analytical estimate as a
+//!   feature, mirroring the hybrid approach of Qian et al. that the paper
+//!   cites.
+//!
+//! # Example
+//!
+//! ```
+//! use soclearn_noc_sim::{MeshConfig, NocSimulator, TrafficPattern};
+//!
+//! let mesh = MeshConfig::new(4, 4);
+//! let mut sim = NocSimulator::new(mesh, TrafficPattern::Uniform, 42);
+//! let stats = sim.run(0.05, 20_000);
+//! assert!(stats.avg_latency_cycles > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytical;
+pub mod learned;
+pub mod simulator;
+
+pub use analytical::AnalyticalLatencyModel;
+pub use learned::SvrLatencyModel;
+pub use simulator::{MeshConfig, NocSimulator, NocStats, TrafficPattern};

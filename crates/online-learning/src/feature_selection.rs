@@ -1,0 +1,188 @@
+//! Online feature selection for runtime models.
+//!
+//! Firmware-grade models cannot afford to consume every hardware counter, so
+//! the paper's STAFF approach (Section III-B, reference [30]) couples RLS with
+//! an online feature-selection step that keeps only the counters most
+//! correlated with the prediction target.  [`OnlineFeatureSelector`] maintains
+//! streaming estimates of each feature's Pearson correlation with the target
+//! and exposes the current top-`k` subset.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming Pearson-correlation based feature selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineFeatureSelector {
+    count: f64,
+    mean_x: Vec<f64>,
+    mean_y: f64,
+    /// Running co-moment of each feature with the target.
+    co_moment: Vec<f64>,
+    /// Running second moment of each feature.
+    m2_x: Vec<f64>,
+    /// Running second moment of the target.
+    m2_y: f64,
+    k: usize,
+}
+
+impl OnlineFeatureSelector {
+    /// Creates a selector over `dim` features that keeps the `k` most correlated ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `k` is zero, or `k > dim`.
+    pub fn new(dim: usize, k: usize) -> Self {
+        assert!(dim > 0 && k > 0, "dimensions must be positive");
+        assert!(k <= dim, "cannot select more features than exist");
+        Self {
+            count: 0.0,
+            mean_x: vec![0.0; dim],
+            mean_y: 0.0,
+            co_moment: vec![0.0; dim],
+            m2_x: vec![0.0; dim],
+            m2_y: 0.0,
+            k,
+        }
+    }
+
+    /// Number of features tracked.
+    pub fn dim(&self) -> usize {
+        self.mean_x.len()
+    }
+
+    /// Number of features selected.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of observations absorbed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Absorbs one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the configured dimensionality.
+    pub fn observe(&mut self, x: &[f64], y: f64) {
+        assert_eq!(x.len(), self.dim(), "feature dimension mismatch");
+        self.count += 1.0;
+        let dy = y - self.mean_y;
+        self.mean_y += dy / self.count;
+        let dy2 = y - self.mean_y;
+        self.m2_y += dy * dy2;
+        for i in 0..x.len() {
+            let dx = x[i] - self.mean_x[i];
+            self.mean_x[i] += dx / self.count;
+            let dx2 = x[i] - self.mean_x[i];
+            self.m2_x[i] += dx * dx2;
+            self.co_moment[i] += dx * dy2;
+        }
+    }
+
+    /// Current absolute Pearson correlation of every feature with the target.
+    ///
+    /// Features with (numerically) zero variance report a correlation of zero.
+    pub fn correlations(&self) -> Vec<f64> {
+        if self.count < 2.0 {
+            return vec![0.0; self.dim()];
+        }
+        (0..self.dim())
+            .map(|i| {
+                let denom = (self.m2_x[i] * self.m2_y).sqrt();
+                if denom < 1e-12 {
+                    0.0
+                } else {
+                    (self.co_moment[i] / denom).abs().min(1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Indices of the `k` most correlated features, sorted by decreasing correlation.
+    ///
+    /// Ties break toward lower indices so that selection is deterministic.
+    pub fn selected(&self) -> Vec<usize> {
+        let corr = self.correlations();
+        let mut order: Vec<usize> = (0..self.dim()).collect();
+        order.sort_by(|&a, &b| {
+            corr[b].partial_cmp(&corr[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        let mut top: Vec<usize> = order.into_iter().take(self.k).collect();
+        top.sort_unstable();
+        top
+    }
+
+    /// Projects a full feature vector down to the currently selected subset.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "feature dimension mismatch");
+        self.selected().iter().map(|&i| x[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn picks_informative_features() {
+        let mut sel = OnlineFeatureSelector::new(5, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..500 {
+            let x: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            // Target depends only on features 1 and 3.
+            let y = 4.0 * x[1] - 2.5 * x[3] + rng.gen_range(-0.05..0.05);
+            sel.observe(&x, y);
+        }
+        assert_eq!(sel.selected(), vec![1, 3]);
+        let corr = sel.correlations();
+        assert!(corr[1] > 0.6 && corr[3] > 0.4);
+        assert!(corr[0] < 0.2 && corr[2] < 0.2 && corr[4] < 0.2);
+    }
+
+    #[test]
+    fn project_keeps_selected_order() {
+        let mut sel = OnlineFeatureSelector::new(3, 2);
+        for i in 0..100 {
+            let v = i as f64;
+            sel.observe(&[v, -v, 0.5], v);
+        }
+        let selected = sel.selected();
+        assert_eq!(selected.len(), 2);
+        let projected = sel.project(&[10.0, 20.0, 30.0]);
+        assert_eq!(projected.len(), 2);
+        for (p, &idx) in projected.iter().zip(&selected) {
+            assert_eq!(*p, [10.0, 20.0, 30.0][idx]);
+        }
+    }
+
+    #[test]
+    fn constant_features_get_zero_correlation() {
+        let mut sel = OnlineFeatureSelector::new(2, 1);
+        for i in 0..50 {
+            sel.observe(&[1.0, i as f64], i as f64);
+        }
+        let corr = sel.correlations();
+        assert_eq!(corr[0], 0.0);
+        assert!(corr[1] > 0.99);
+        assert_eq!(sel.selected(), vec![1]);
+    }
+
+    #[test]
+    fn too_few_samples_reports_zero() {
+        let mut sel = OnlineFeatureSelector::new(2, 1);
+        assert_eq!(sel.correlations(), vec![0.0, 0.0]);
+        sel.observe(&[1.0, 2.0], 3.0);
+        assert_eq!(sel.correlations(), vec![0.0, 0.0]);
+        assert_eq!(sel.samples_seen(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select more features")]
+    fn rejects_k_larger_than_dim() {
+        let _ = OnlineFeatureSelector::new(2, 3);
+    }
+}

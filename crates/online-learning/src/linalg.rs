@@ -1,0 +1,99 @@
+//! Small dense linear-algebra helpers.
+//!
+//! Every model in this crate works with feature vectors of at most a few tens
+//! of dimensions (the Table I counter set is nine wide), so simple dense
+//! routines with partial pivoting are both adequate and dependency free.
+
+/// Solves the linear system `A x = b` with Gaussian elimination and partial pivoting.
+///
+/// Returns `None` when `A` is singular to working precision or dimensions are
+/// inconsistent.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    if n == 0 || b.len() != n || a.iter().any(|row| row.len() != n) {
+        return None;
+    }
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = m[row][col] / m[col][col];
+            for k in col..n {
+                m[row][k] -= factor * m[col][k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for col in (row + 1)..n {
+            acc -= m[row][col] * x[col];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_small_system() {
+        let a = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
+        let x = solve(&a, &[1.0, 2.0]).unwrap();
+        assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-10);
+        assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_rejects_singular_and_mismatched() {
+        assert!(solve(&[vec![1.0, 1.0], vec![1.0, 1.0]], &[1.0, 2.0]).is_none());
+        assert!(solve(&[vec![1.0]], &[1.0, 2.0]).is_none());
+        assert!(solve(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn dot_and_distance() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(squared_distance(&[1.0, 2.0], &[4.0, 6.0]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn dot_panics_on_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

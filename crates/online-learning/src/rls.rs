@@ -1,0 +1,308 @@
+//! Recursive least squares with exponential and adaptive forgetting.
+//!
+//! The paper's online performance and power models (Section III-B, references
+//! [12] and [30]) are recursive-least-squares estimators: a linear model whose
+//! coefficients are refreshed after every observation with `O(d²)` work, where
+//! `d` is the number of selected hardware counters.  Two variants are
+//! provided:
+//!
+//! * [`RecursiveLeastSquares`] — classic RLS with a fixed exponential
+//!   forgetting factor `λ ∈ (0, 1]`.
+//! * [`AdaptiveForgettingRls`] — a stabilized adaptive forgetting factor in
+//!   the spirit of STAFF ("Stabilized Adaptive Forgetting Factor", DAC 2018):
+//!   the factor shrinks when prediction errors spike (workload change → adapt
+//!   fast) and recovers toward its ceiling when errors are small (steady state
+//!   → keep memory, avoid covariance wind-up).
+
+use serde::{Deserialize, Serialize};
+
+use crate::traits::OnlineRegressor;
+
+/// Classic recursive least squares with exponential forgetting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecursiveLeastSquares {
+    weights: Vec<f64>,
+    /// Inverse correlation matrix `P`.
+    p: Vec<Vec<f64>>,
+    lambda: f64,
+    samples: usize,
+}
+
+impl RecursiveLeastSquares {
+    /// Creates an RLS estimator for `dim` features with forgetting factor `lambda`.
+    ///
+    /// `lambda = 1.0` never forgets; values around `0.95–0.99` are typical for
+    /// tracking workload phase changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or `lambda` is outside `(0, 1]`.
+    pub fn new(dim: usize, lambda: f64) -> Self {
+        assert!(dim > 0, "feature dimension must be positive");
+        assert!(lambda > 0.0 && lambda <= 1.0, "forgetting factor must be in (0, 1]");
+        Self { weights: vec![0.0; dim], p: Self::scaled_identity(dim, 1e4), lambda, samples: 0 }
+    }
+
+    fn scaled_identity(dim: usize, scale: f64) -> Vec<Vec<f64>> {
+        (0..dim)
+            .map(|i| (0..dim).map(|j| if i == j { scale } else { 0.0 }).collect())
+            .collect()
+    }
+
+    /// The current weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The forgetting factor currently in use.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Resets the estimator to its initial state, keeping the dimensionality.
+    pub fn reset(&mut self) {
+        let dim = self.weights.len();
+        self.weights = vec![0.0; dim];
+        self.p = Self::scaled_identity(dim, 1e4);
+        self.samples = 0;
+    }
+
+    /// One RLS update with an explicit forgetting factor (used by the adaptive
+    /// variant); returns the a-priori prediction error.
+    fn update_with_lambda(&mut self, x: &[f64], y: f64, lambda: f64) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        let dim = x.len();
+        // P x
+        let px: Vec<f64> = (0..dim).map(|i| (0..dim).map(|j| self.p[i][j] * x[j]).sum()).collect();
+        let denom = lambda + x.iter().zip(&px).map(|(xi, pxi)| xi * pxi).sum::<f64>();
+        let gain: Vec<f64> = px.iter().map(|v| v / denom).collect();
+        let prediction: f64 = self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum();
+        let error = y - prediction;
+        for (w, g) in self.weights.iter_mut().zip(&gain) {
+            *w += g * error;
+        }
+        // P = (P - gain * x^T * P) / lambda
+        let xt_p: Vec<f64> = (0..dim).map(|j| (0..dim).map(|i| x[i] * self.p[i][j]).sum()).collect();
+        for i in 0..dim {
+            for j in 0..dim {
+                self.p[i][j] = (self.p[i][j] - gain[i] * xt_p[j]) / lambda;
+            }
+        }
+        self.samples += 1;
+        error
+    }
+}
+
+impl OnlineRegressor for RecursiveLeastSquares {
+    fn update(&mut self, x: &[f64], y: f64) {
+        let lambda = self.lambda;
+        let _ = self.update_with_lambda(x, y, lambda);
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn samples_seen(&self) -> usize {
+        self.samples
+    }
+}
+
+/// RLS with a stabilized adaptive forgetting factor.
+///
+/// The forgetting factor is decreased proportionally to the normalised
+/// magnitude of recent prediction errors and pulled back toward `lambda_max`
+/// when the model is tracking well, bounded below by `lambda_min` to avoid
+/// instability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveForgettingRls {
+    inner: RecursiveLeastSquares,
+    lambda_min: f64,
+    lambda_max: f64,
+    current_lambda: f64,
+    /// Exponential moving average of the squared prediction error.
+    error_ema: f64,
+    /// Exponential moving average of the squared target, for normalisation.
+    target_ema: f64,
+    ema_alpha: f64,
+}
+
+impl AdaptiveForgettingRls {
+    /// Creates an adaptive-forgetting RLS estimator for `dim` features with the
+    /// forgetting factor constrained to `[lambda_min, lambda_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or the bounds are not `0 < lambda_min <= lambda_max <= 1`.
+    pub fn new(dim: usize, lambda_min: f64, lambda_max: f64) -> Self {
+        assert!(dim > 0, "feature dimension must be positive");
+        assert!(
+            lambda_min > 0.0 && lambda_min <= lambda_max && lambda_max <= 1.0,
+            "require 0 < lambda_min <= lambda_max <= 1"
+        );
+        Self {
+            inner: RecursiveLeastSquares::new(dim, lambda_max),
+            lambda_min,
+            lambda_max,
+            current_lambda: lambda_max,
+            error_ema: 0.0,
+            target_ema: 1e-9,
+            ema_alpha: 0.1,
+        }
+    }
+
+    /// The forgetting factor used for the most recent update.
+    pub fn current_lambda(&self) -> f64 {
+        self.current_lambda
+    }
+
+    /// The underlying weight vector.
+    pub fn weights(&self) -> &[f64] {
+        self.inner.weights()
+    }
+}
+
+impl OnlineRegressor for AdaptiveForgettingRls {
+    fn update(&mut self, x: &[f64], y: f64) {
+        // Use the a-priori error from the previous state to set the factor.
+        let prediction = self.inner.predict(x);
+        let error = y - prediction;
+        self.error_ema = (1.0 - self.ema_alpha) * self.error_ema + self.ema_alpha * error * error;
+        self.target_ema = (1.0 - self.ema_alpha) * self.target_ema + self.ema_alpha * y * y;
+        let normalised = (self.error_ema / self.target_ema.max(1e-12)).min(1.0);
+        // Large normalised error -> forget faster (smaller lambda).
+        self.current_lambda =
+            (self.lambda_max - (self.lambda_max - self.lambda_min) * normalised.sqrt())
+                .clamp(self.lambda_min, self.lambda_max);
+        let lambda = self.current_lambda;
+        let _ = self.inner.update_with_lambda(x, y, lambda);
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.inner.predict(x)
+    }
+
+    fn input_dim(&self) -> usize {
+        self.inner.input_dim()
+    }
+
+    fn samples_seen(&self) -> usize {
+        self.inner.samples_seen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stationary_stream(n: usize) -> Vec<(Vec<f64>, f64)> {
+        (0..n)
+            .map(|i| {
+                let x = vec![(i % 17) as f64 / 17.0, ((i * 7) % 13) as f64 / 13.0, 1.0];
+                let y = 2.0 * x[0] - 1.5 * x[1] + 0.75;
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rls_recovers_stationary_linear_model() {
+        let mut rls = RecursiveLeastSquares::new(3, 1.0);
+        for (x, y) in stationary_stream(300) {
+            rls.update(&x, y);
+        }
+        let w = rls.weights();
+        assert!((w[0] - 2.0).abs() < 1e-3);
+        assert!((w[1] + 1.5).abs() < 1e-3);
+        assert!((w[2] - 0.75).abs() < 1e-3);
+        assert_eq!(rls.samples_seen(), 300);
+        assert_eq!(rls.input_dim(), 3);
+    }
+
+    #[test]
+    fn forgetting_tracks_abrupt_change_faster_than_no_forgetting() {
+        let mut forgetting = RecursiveLeastSquares::new(2, 0.9);
+        let mut remembering = RecursiveLeastSquares::new(2, 1.0);
+        // Phase 1: y = x.
+        for i in 0..300 {
+            let x = vec![(i % 10) as f64, 1.0];
+            let y = x[0];
+            forgetting.update(&x, y);
+            remembering.update(&x, y);
+        }
+        // Phase 2: y = 3x + 2.
+        for i in 0..40 {
+            let x = vec![(i % 10) as f64, 1.0];
+            let y = 3.0 * x[0] + 2.0;
+            forgetting.update(&x, y);
+            remembering.update(&x, y);
+        }
+        let probe = vec![5.0, 1.0];
+        let target = 17.0;
+        let err_forgetting = (forgetting.predict(&probe) - target).abs();
+        let err_remembering = (remembering.predict(&probe) - target).abs();
+        assert!(
+            err_forgetting < err_remembering,
+            "forgetting RLS ({err_forgetting}) should adapt faster than lambda=1 ({err_remembering})"
+        );
+    }
+
+    #[test]
+    fn adaptive_forgetting_shrinks_lambda_on_change() {
+        let mut adaptive = AdaptiveForgettingRls::new(2, 0.85, 0.995);
+        for i in 0..200 {
+            let x = vec![(i % 10) as f64, 1.0];
+            adaptive.update(&x, x[0]);
+        }
+        let settled_lambda = adaptive.current_lambda();
+        // Abrupt change in the relationship.
+        for i in 0..10 {
+            let x = vec![(i % 10) as f64, 1.0];
+            adaptive.update(&x, 5.0 * x[0] + 10.0);
+        }
+        let changed_lambda = adaptive.current_lambda();
+        assert!(
+            changed_lambda < settled_lambda,
+            "lambda should drop after a workload change ({settled_lambda} -> {changed_lambda})"
+        );
+        assert!(changed_lambda >= 0.85 && settled_lambda <= 0.995);
+    }
+
+    #[test]
+    fn adaptive_converges_like_plain_rls_when_stationary() {
+        let mut adaptive = AdaptiveForgettingRls::new(3, 0.9, 1.0);
+        for (x, y) in stationary_stream(400) {
+            adaptive.update(&x, y);
+        }
+        assert!((adaptive.predict(&[0.5, 0.5, 1.0]) - (2.0 * 0.5 - 1.5 * 0.5 + 0.75)).abs() < 0.02);
+        assert_eq!(adaptive.samples_seen(), 400);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut rls = RecursiveLeastSquares::new(2, 0.98);
+        rls.update(&[1.0, 1.0], 5.0);
+        assert!(rls.samples_seen() == 1 && rls.weights().iter().any(|&w| w != 0.0));
+        rls.reset();
+        assert_eq!(rls.samples_seen(), 0);
+        assert!(rls.weights().iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting factor")]
+    fn rejects_invalid_lambda() {
+        let _ = RecursiveLeastSquares::new(2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn rejects_dimension_mismatch() {
+        let mut rls = RecursiveLeastSquares::new(2, 0.99);
+        rls.update(&[1.0], 1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Common model interfaces shared by the learning primitives.
+
+/// A regression model that is trained incrementally, one sample at a time.
+///
+/// Online regressors are the backbone of the paper's adaptive models: the
+/// power, performance and sensitivity models are all updated after every
+/// snippet or frame using the latest hardware-counter observation.
+pub trait OnlineRegressor {
+    /// Incorporates one observation `(x, y)` into the model.
+    fn update(&mut self, x: &[f64], y: f64);
+
+    /// Predicts the target for the feature vector `x`.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Number of input features the model expects.
+    fn input_dim(&self) -> usize;
+
+    /// Number of updates the model has absorbed so far.
+    fn samples_seen(&self) -> usize;
+}
+
+/// A regression model trained in one shot from a batch of samples.
+pub trait Regressor {
+    /// Fits the model to the dataset.
+    ///
+    /// Implementations should panic on dimension mismatches between `xs` and `ys`,
+    /// since that always indicates a programming error in the caller.
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]);
+
+    /// Predicts the target for the feature vector `x`.
+    fn predict(&self, x: &[f64]) -> f64;
+}
+
+/// A multi-class classifier over feature vectors.
+pub trait Classifier {
+    /// Fits the classifier to feature vectors and class labels.
+    fn fit(&mut self, xs: &[Vec<f64>], labels: &[usize]);
+
+    /// Predicts the class label of `x`.
+    fn predict_class(&self, x: &[f64]) -> usize;
+
+    /// Per-class scores (higher is more likely); the argmax is the prediction.
+    fn scores(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Number of classes the classifier distinguishes.
+    fn class_count(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The traits must stay object safe: policies store heterogeneous models
+    /// behind `Box<dyn …>`.
+    #[test]
+    fn traits_are_object_safe() {
+        fn _takes_online(_: &dyn OnlineRegressor) {}
+        fn _takes_batch(_: &dyn Regressor) {}
+        fn _takes_classifier(_: &dyn Classifier) {}
+    }
+}

@@ -1,0 +1,392 @@
+//! CART-style decision trees.
+//!
+//! The offline IL work the paper builds on ([18], [19]) uses regression-tree
+//! models for the control policy because they are cheap to evaluate in an OS
+//! governor.  This module provides both a regression tree (squared-error
+//! splits) and a classification tree (Gini splits); both are depth- and
+//! leaf-size-limited to keep the memory footprint firmware friendly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::traits::{Classifier, Regressor};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Mean target (regression) or per-class counts (classification).
+        value: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn evaluate<'a>(&'a self, x: &[f64]) -> &'a [f64] {
+        match self {
+            Node::Leaf { value } => value,
+            Node::Split { feature, threshold, left, right } => {
+                if x[*feature] <= *threshold {
+                    left.evaluate(x)
+                } else {
+                    right.evaluate(x)
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.leaves() + right.leaves(),
+        }
+    }
+}
+
+/// Shared hyper-parameters of the tree learners.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 8, min_samples_split: 4 }
+    }
+}
+
+/// Candidate split thresholds for a feature: midpoints between consecutive
+/// distinct sorted values.
+fn candidate_thresholds(values: &mut Vec<f64>) -> Vec<f64> {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values.dedup();
+    values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Regression tree
+// ---------------------------------------------------------------------------
+
+/// Depth-limited CART regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    config: TreeConfig,
+    root: Option<Node>,
+}
+
+impl RegressionTree {
+    /// Creates an unfitted regression tree with the given configuration.
+    pub fn new(config: TreeConfig) -> Self {
+        Self { config, root: None }
+    }
+
+    /// Creates and fits in one call.
+    pub fn fitted(xs: &[Vec<f64>], ys: &[f64], config: TreeConfig) -> Self {
+        let mut tree = Self::new(config);
+        tree.fit(xs, ys);
+        tree
+    }
+
+    /// Depth of the fitted tree (zero for a single leaf or before fitting).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::depth)
+    }
+
+    /// Number of leaves in the fitted tree.
+    pub fn leaf_count(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::leaves)
+    }
+
+    fn build(&self, xs: &[Vec<f64>], ys: &[f64], indices: &[usize], depth: usize) -> Node {
+        let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= self.config.max_depth || indices.len() < self.config.min_samples_split {
+            return Node::Leaf { value: vec![mean] };
+        }
+        let parent_sse: f64 = indices.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
+        let dims = xs[0].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for feature in 0..dims {
+            let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][feature]).collect();
+            for threshold in candidate_thresholds(&mut values) {
+                let (mut ln, mut ls, mut lss) = (0.0, 0.0, 0.0);
+                let (mut rn, mut rs, mut rss) = (0.0, 0.0, 0.0);
+                for &i in indices {
+                    if xs[i][feature] <= threshold {
+                        ln += 1.0;
+                        ls += ys[i];
+                        lss += ys[i] * ys[i];
+                    } else {
+                        rn += 1.0;
+                        rs += ys[i];
+                        rss += ys[i] * ys[i];
+                    }
+                }
+                if ln < 1.0 || rn < 1.0 {
+                    continue;
+                }
+                let sse = (lss - ls * ls / ln) + (rss - rs * rs / rn);
+                if best.as_ref().map_or(true, |&(_, _, b)| sse < b - 1e-12) {
+                    best = Some((feature, threshold, sse));
+                }
+            }
+        }
+        match best {
+            Some((feature, threshold, sse)) if sse < parent_sse - 1e-12 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| xs[i][feature] <= threshold);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(xs, ys, &left_idx, depth + 1)),
+                    right: Box::new(self.build(xs, ys, &right_idx, depth + 1)),
+                }
+            }
+            _ => Node::Leaf { value: vec![mean] },
+        }
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) {
+        assert!(!xs.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(xs.len(), ys.len(), "sample/target count mismatch");
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        self.root = Some(self.build(xs, ys, &indices, 0));
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.root.as_ref().expect("predict called before fit").evaluate(x)[0]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classification tree
+// ---------------------------------------------------------------------------
+
+/// Depth-limited CART classification tree with Gini-impurity splits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTreeClassifier {
+    config: TreeConfig,
+    classes: usize,
+    root: Option<Node>,
+}
+
+impl DecisionTreeClassifier {
+    /// Creates an unfitted classifier distinguishing `classes` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(classes: usize, config: TreeConfig) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self { config, classes, root: None }
+    }
+
+    /// Creates and fits in one call.
+    pub fn fitted(xs: &[Vec<f64>], labels: &[usize], classes: usize, config: TreeConfig) -> Self {
+        let mut tree = Self::new(classes, config);
+        tree.fit(xs, labels);
+        tree
+    }
+
+    /// Number of leaves in the fitted tree.
+    pub fn leaf_count(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::leaves)
+    }
+
+    fn class_counts(&self, labels: &[usize], indices: &[usize]) -> Vec<f64> {
+        let mut counts = vec![0.0; self.classes];
+        for &i in indices {
+            counts[labels[i]] += 1.0;
+        }
+        counts
+    }
+
+    fn gini(counts: &[f64]) -> f64 {
+        let total: f64 = counts.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+    }
+
+    fn build(&self, xs: &[Vec<f64>], labels: &[usize], indices: &[usize], depth: usize) -> Node {
+        let counts = self.class_counts(labels, indices);
+        let node_gini = Self::gini(&counts);
+        if depth >= self.config.max_depth
+            || indices.len() < self.config.min_samples_split
+            || node_gini < 1e-12
+        {
+            return Node::Leaf { value: counts };
+        }
+        let dims = xs[0].len();
+        let total = indices.len() as f64;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for feature in 0..dims {
+            let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][feature]).collect();
+            for threshold in candidate_thresholds(&mut values) {
+                let mut left = vec![0.0; self.classes];
+                let mut right = vec![0.0; self.classes];
+                for &i in indices {
+                    if xs[i][feature] <= threshold {
+                        left[labels[i]] += 1.0;
+                    } else {
+                        right[labels[i]] += 1.0;
+                    }
+                }
+                let ln: f64 = left.iter().sum();
+                let rn: f64 = right.iter().sum();
+                if ln < 1.0 || rn < 1.0 {
+                    continue;
+                }
+                let weighted = ln / total * Self::gini(&left) + rn / total * Self::gini(&right);
+                if best.as_ref().map_or(true, |&(_, _, b)| weighted < b - 1e-12) {
+                    best = Some((feature, threshold, weighted));
+                }
+            }
+        }
+        match best {
+            Some((feature, threshold, weighted)) if weighted < node_gini - 1e-12 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| xs[i][feature] <= threshold);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(xs, labels, &left_idx, depth + 1)),
+                    right: Box::new(self.build(xs, labels, &right_idx, depth + 1)),
+                }
+            }
+            _ => Node::Leaf { value: counts },
+        }
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn fit(&mut self, xs: &[Vec<f64>], labels: &[usize]) {
+        assert!(!xs.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(xs.len(), labels.len(), "sample/label count mismatch");
+        assert!(labels.iter().all(|&l| l < self.classes), "label out of range");
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        self.root = Some(self.build(xs, labels, &indices, 0));
+    }
+
+    fn predict_class(&self, x: &[f64]) -> usize {
+        let scores = self.scores(x);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn scores(&self, x: &[f64]) -> Vec<f64> {
+        self.root.as_ref().expect("predict called before fit").evaluate(x).to_vec()
+    }
+
+    fn class_count(&self) -> usize {
+        self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let tree = RegressionTree::fitted(&xs, &ys, TreeConfig::default());
+        assert!((tree.predict(&[0.2]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict(&[0.8]) - 5.0).abs() < 1e-9);
+        assert!(tree.depth() >= 1);
+        assert!(tree.leaf_count() >= 2);
+    }
+
+    #[test]
+    fn regression_tree_respects_depth_limit() {
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].sin()).collect();
+        let shallow = RegressionTree::fitted(&xs, &ys, TreeConfig { max_depth: 2, min_samples_split: 2 });
+        let deep = RegressionTree::fitted(&xs, &ys, TreeConfig { max_depth: 8, min_samples_split: 2 });
+        assert!(shallow.depth() <= 2);
+        assert!(deep.leaf_count() > shallow.leaf_count());
+    }
+
+    #[test]
+    fn classifier_separates_quadrants() {
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let x = i as f64 / 10.0 - 0.5 + 0.01;
+                let y = j as f64 / 10.0 - 0.5 + 0.01;
+                xs.push(vec![x, y]);
+                labels.push(match (x > 0.0, y > 0.0) {
+                    (true, true) => 0usize,
+                    (true, false) => 1,
+                    (false, true) => 2,
+                    (false, false) => 3,
+                });
+            }
+        }
+        let tree = DecisionTreeClassifier::fitted(&xs, &labels, 4, TreeConfig::default());
+        let correct =
+            xs.iter().zip(&labels).filter(|(x, &l)| tree.predict_class(x) == l).count();
+        assert!(correct as f64 / xs.len() as f64 > 0.98);
+        assert_eq!(tree.class_count(), 4);
+        assert!(tree.leaf_count() >= 4);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![1usize, 1, 1];
+        let tree = DecisionTreeClassifier::fitted(&xs, &labels, 3, TreeConfig::default());
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.predict_class(&[100.0]), 1);
+    }
+
+    #[test]
+    fn scores_reflect_training_distribution() {
+        let xs = vec![vec![0.0], vec![0.1], vec![0.2], vec![1.0]];
+        let labels = vec![0usize, 0, 0, 1];
+        let tree = DecisionTreeClassifier::fitted(
+            &xs,
+            &labels,
+            2,
+            TreeConfig { max_depth: 1, min_samples_split: 2 },
+        );
+        let scores = tree.scores(&[0.05]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores[0] > scores[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn classifier_rejects_out_of_range_labels() {
+        let mut tree = DecisionTreeClassifier::new(2, TreeConfig::default());
+        tree.fit(&[vec![0.0]], &[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn regression_predict_before_fit_panics() {
+        let tree = RegressionTree::new(TreeConfig::default());
+        let _ = tree.predict(&[0.0]);
+    }
+}

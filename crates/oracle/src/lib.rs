@@ -1,0 +1,356 @@
+//! Oracle policy construction.
+//!
+//! Section IV-A1 of the DAC 2020 paper constructs an *Oracle* offline: each
+//! snippet of every training application is executed at every configuration
+//! supported by the SoC, and the configuration optimising the target objective
+//! (energy, energy-delay product or performance-per-watt) is recorded.  The
+//! Oracle is too large to store or compute at run time, which is exactly why
+//! the imitation-learning policy approximates it — but it is the reference
+//! every experiment normalises against (Table II, Figures 3 and 4).
+//!
+//! This crate provides:
+//!
+//! * [`OracleSearch`] — the per-snippet exhaustive search primitive,
+//! * [`OracleRun`] — Oracle execution of a snippet sequence (the denominator
+//!   of every "normalised energy" number),
+//! * [`Demonstration`] / [`collect_demonstrations`] — the (state, optimal
+//!   action) pairs used to train imitation-learning policies,
+//! * [`OraclePolicy`] — a [`DvfsPolicy`] wrapper replaying precomputed Oracle
+//!   decisions inside the shared policy-evaluation harness.
+//!
+//! # Example
+//!
+//! ```
+//! use soclearn_oracle::{OracleObjective, OracleSearch};
+//! use soclearn_soc_sim::{SocPlatform, SocSimulator};
+//! use soclearn_workloads::SnippetProfile;
+//!
+//! let sim = SocSimulator::new(SocPlatform::odroid_xu3());
+//! let search = OracleSearch::new(OracleObjective::Energy);
+//! let (best, execution) = search.best_config(&sim, &SnippetProfile::memory_bound(100_000_000));
+//! assert!(sim.platform().is_valid(best));
+//! assert!(execution.energy_j > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use soclearn_soc_sim::{
+    DvfsConfig, DvfsPolicy, PolicyDecision, SnippetExecution, SocPlatform, SocSimulator,
+};
+use soclearn_workloads::SnippetProfile;
+
+/// Objective the Oracle optimises when ranking configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OracleObjective {
+    /// Minimise energy per snippet (the paper's primary objective).
+    Energy,
+    /// Minimise the energy-delay product.
+    EnergyDelayProduct,
+    /// Maximise instructions per joule.
+    PerformancePerWatt,
+}
+
+impl OracleObjective {
+    /// Scalar score of an execution under this objective; lower is better.
+    pub fn score(&self, execution: &SnippetExecution) -> f64 {
+        match self {
+            OracleObjective::Energy => execution.energy_j,
+            OracleObjective::EnergyDelayProduct => execution.energy_delay_product(),
+            OracleObjective::PerformancePerWatt => -execution.instructions_per_joule(),
+        }
+    }
+}
+
+/// Exhaustive per-snippet configuration search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleSearch {
+    objective: OracleObjective,
+}
+
+impl OracleSearch {
+    /// Creates a search for the given objective.
+    pub fn new(objective: OracleObjective) -> Self {
+        Self { objective }
+    }
+
+    /// The objective being optimised.
+    pub fn objective(&self) -> OracleObjective {
+        self.objective
+    }
+
+    /// Evaluates every configuration of the platform for this snippet and returns
+    /// the best one together with its (hypothetical) execution result.
+    pub fn best_config(
+        &self,
+        sim: &SocSimulator,
+        profile: &SnippetProfile,
+    ) -> (DvfsConfig, SnippetExecution) {
+        let mut best: Option<(DvfsConfig, SnippetExecution)> = None;
+        for config in sim.platform().configs() {
+            let execution = sim.evaluate_snippet(profile, config);
+            let better = match &best {
+                None => true,
+                Some((_, current)) => self.objective.score(&execution) < self.objective.score(current),
+            };
+            if better {
+                best = Some((config, execution));
+            }
+        }
+        best.expect("platform always has at least one configuration")
+    }
+
+    /// Like [`OracleSearch::best_config`] but restricted to a candidate list, which
+    /// is how the online-IL runtime approximates the Oracle in a local
+    /// neighbourhood of the current configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn best_among(
+        &self,
+        sim: &SocSimulator,
+        profile: &SnippetProfile,
+        candidates: &[DvfsConfig],
+    ) -> (DvfsConfig, SnippetExecution) {
+        assert!(!candidates.is_empty(), "candidate list must not be empty");
+        let mut best: Option<(DvfsConfig, SnippetExecution)> = None;
+        for &config in candidates {
+            let execution = sim.evaluate_snippet(profile, config);
+            let better = match &best {
+                None => true,
+                Some((_, current)) => self.objective.score(&execution) < self.objective.score(current),
+            };
+            if better {
+                best = Some((config, execution));
+            }
+        }
+        best.expect("candidate list is non-empty")
+    }
+}
+
+/// Result of executing a snippet sequence under the Oracle policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleRun {
+    /// Objective the Oracle optimised.
+    pub objective: OracleObjective,
+    /// Per-snippet optimal configurations.
+    pub decisions: Vec<DvfsConfig>,
+    /// Per-snippet execution results at the optimal configurations.
+    pub executions: Vec<SnippetExecution>,
+    /// Total energy of the run, joules.
+    pub total_energy_j: f64,
+    /// Total execution time of the run, seconds.
+    pub total_time_s: f64,
+}
+
+impl OracleRun {
+    /// Executes the snippet sequence with per-snippet exhaustive search, committing
+    /// each optimal decision to the simulator (so thermal state evolves as it would
+    /// under the Oracle).
+    pub fn execute(
+        sim: &mut SocSimulator,
+        profiles: &[SnippetProfile],
+        objective: OracleObjective,
+    ) -> Self {
+        let search = OracleSearch::new(objective);
+        let mut decisions = Vec::with_capacity(profiles.len());
+        let mut executions = Vec::with_capacity(profiles.len());
+        for profile in profiles {
+            let (best, _) = search.best_config(sim, profile);
+            let execution = sim.execute_snippet(profile, best);
+            decisions.push(best);
+            executions.push(execution);
+        }
+        let total_energy_j = executions.iter().map(|e| e.energy_j).sum();
+        let total_time_s = executions.iter().map(|e| e.time_s).sum();
+        Self { objective, decisions, executions, total_energy_j, total_time_s }
+    }
+}
+
+/// One imitation-learning demonstration: the state observed after a snippet and
+/// the Oracle-optimal configuration for the following snippet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demonstration {
+    /// Normalised counter features observed while the previous snippet executed.
+    pub features: Vec<f64>,
+    /// Configuration the previous snippet executed at.
+    pub previous_config: DvfsConfig,
+    /// Oracle-optimal configuration for the upcoming snippet.
+    pub action: DvfsConfig,
+}
+
+/// Collects imitation-learning demonstrations by running the Oracle over a
+/// snippet sequence.
+///
+/// The state for deciding snippet `i` is the counter vector observed while
+/// snippet `i-1` executed (at its Oracle configuration), exactly matching the
+/// information available to a runtime policy.  The first snippet has no
+/// predecessor and is skipped.
+pub fn collect_demonstrations(
+    sim: &mut SocSimulator,
+    profiles: &[SnippetProfile],
+    objective: OracleObjective,
+) -> Vec<Demonstration> {
+    let search = OracleSearch::new(objective);
+    let mut demonstrations = Vec::new();
+    let mut previous: Option<SnippetExecution> = None;
+    for profile in profiles {
+        let (best, _) = search.best_config(sim, profile);
+        if let Some(prev) = &previous {
+            demonstrations.push(Demonstration {
+                features: prev.counters.normalized_features(),
+                previous_config: prev.config,
+                action: best,
+            });
+        }
+        previous = Some(sim.execute_snippet(profile, best));
+    }
+    demonstrations
+}
+
+/// A [`DvfsPolicy`] that replays precomputed Oracle decisions by snippet index.
+///
+/// Used by the experiment harness to run "the Oracle" through the same
+/// interface as every learned policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OraclePolicy {
+    decisions: Vec<DvfsConfig>,
+    fallback: DvfsConfig,
+}
+
+impl OraclePolicy {
+    /// Creates a policy replaying `decisions[i]` for snippet `i`; indices beyond the
+    /// precomputed range fall back to `fallback`.
+    pub fn new(decisions: Vec<DvfsConfig>, fallback: DvfsConfig) -> Self {
+        Self { decisions, fallback }
+    }
+
+    /// Creates the policy from an [`OracleRun`].
+    pub fn from_run(run: &OracleRun, fallback: DvfsConfig) -> Self {
+        Self::new(run.decisions.clone(), fallback)
+    }
+
+    /// The replayed decisions.
+    pub fn decisions(&self) -> &[DvfsConfig] {
+        &self.decisions
+    }
+}
+
+impl DvfsPolicy for OraclePolicy {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn decide(&mut self, platform: &SocPlatform, decision: PolicyDecision<'_>) -> DvfsConfig {
+        let config = self.decisions.get(decision.snippet_index).copied().unwrap_or(self.fallback);
+        assert!(platform.is_valid(config), "oracle decision invalid for platform");
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soclearn_soc_sim::SnippetCounters;
+    use soclearn_workloads::{BenchmarkSuite, SuiteKind};
+
+    fn small_sim() -> SocSimulator {
+        SocSimulator::new(SocPlatform::small())
+    }
+
+    #[test]
+    fn oracle_beats_or_matches_every_fixed_configuration() {
+        let mut sim = small_sim();
+        let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 5);
+        let profiles: Vec<_> = suite.benchmarks()[1].snippets().to_vec();
+        let oracle = OracleRun::execute(&mut sim, &profiles, OracleObjective::Energy);
+        for config in SocPlatform::small().configs() {
+            let mut fixed_sim = small_sim();
+            let results = fixed_sim.execute_sequence(&profiles, config);
+            let fixed_energy: f64 = results.iter().map(|r| r.energy_j).sum();
+            assert!(
+                oracle.total_energy_j <= fixed_energy * 1.0001,
+                "oracle {} J should not exceed fixed {config} {} J",
+                oracle.total_energy_j,
+                fixed_energy
+            );
+        }
+    }
+
+    #[test]
+    fn objective_changes_the_chosen_configuration() {
+        let sim = small_sim();
+        let memory = SnippetProfile::memory_bound(100_000_000);
+        let energy_best = OracleSearch::new(OracleObjective::Energy).best_config(&sim, &memory).0;
+        let edp_best =
+            OracleSearch::new(OracleObjective::EnergyDelayProduct).best_config(&sim, &memory).0;
+        // EDP weights delay, so it must never pick a lower big frequency than the
+        // pure-energy objective for the same snippet.
+        assert!(edp_best.big_idx >= energy_best.big_idx);
+    }
+
+    #[test]
+    fn best_among_respects_candidate_restriction() {
+        let sim = small_sim();
+        let profile = SnippetProfile::compute_bound(100_000_000);
+        let search = OracleSearch::new(OracleObjective::Energy);
+        let candidates = vec![DvfsConfig::new(0, 0), DvfsConfig::new(0, 1)];
+        let (best, _) = search.best_among(&sim, &profile, &candidates);
+        assert!(candidates.contains(&best));
+    }
+
+    #[test]
+    fn demonstrations_align_states_and_actions() {
+        let mut sim = small_sim();
+        let suite = BenchmarkSuite::generate(SuiteKind::Cortex, 3);
+        let profiles: Vec<_> = suite.benchmarks()[0].snippets().to_vec();
+        let demos = collect_demonstrations(&mut sim, &profiles, OracleObjective::Energy);
+        assert_eq!(demos.len(), profiles.len() - 1);
+        assert!(demos.iter().all(|d| d.features.len() == SnippetCounters::NORMALIZED_FEATURE_DIM));
+        assert!(demos.iter().all(|d| SocPlatform::small().is_valid(d.action)));
+    }
+
+    #[test]
+    fn oracle_policy_replays_decisions() {
+        let mut sim = small_sim();
+        let profiles = vec![
+            SnippetProfile::compute_bound(100_000_000),
+            SnippetProfile::memory_bound(100_000_000),
+        ];
+        let run = OracleRun::execute(&mut sim, &profiles, OracleObjective::Energy);
+        let platform = SocPlatform::small();
+        let mut policy = OraclePolicy::from_run(&run, platform.min_config());
+        let counters = SnippetCounters::default();
+        for (i, expected) in run.decisions.iter().enumerate() {
+            let got = policy.decide(&platform, PolicyDecision::new(&counters, platform.min_config(), i));
+            assert_eq!(got, *expected);
+        }
+        // Out-of-range index falls back.
+        let fallback =
+            policy.decide(&platform, PolicyDecision::new(&counters, platform.min_config(), 99));
+        assert_eq!(fallback, platform.min_config());
+        assert_eq!(policy.name(), "oracle");
+    }
+
+    #[test]
+    fn memory_bound_oracle_prefers_lower_big_frequency_than_compute_bound() {
+        let sim = SocSimulator::new(SocPlatform::odroid_xu3());
+        let search = OracleSearch::new(OracleObjective::Energy);
+        let compute = search.best_config(&sim, &SnippetProfile::compute_bound(100_000_000)).0;
+        let memory = search.best_config(&sim, &SnippetProfile::memory_bound(100_000_000)).0;
+        assert!(memory.big_idx < compute.big_idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate list must not be empty")]
+    fn best_among_rejects_empty_candidates() {
+        let sim = small_sim();
+        let _ = OracleSearch::new(OracleObjective::Energy).best_among(
+            &sim,
+            &SnippetProfile::compute_bound(1000),
+            &[],
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal dense linear algebra helpers used by the thermal models.
+//!
+//! Only the small fixed-size systems of the RC thermal network are solved
+//! here, so a straightforward Gaussian elimination with partial pivoting is
+//! entirely adequate; no external linear-algebra crate is required.
+
+/// Solves `A x = b` for square `A` using Gaussian elimination with partial pivoting.
+///
+/// Returns `None` if the matrix is singular (to working precision).
+pub(crate) fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    if n == 0 || b.len() != n || a.iter().any(|row| row.len() != n) {
+        return None;
+    }
+    let mut m: Vec<Vec<f64>> = a.iter().cloned().collect();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n).max_by(|&i, &j| {
+            m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if m[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot_row);
+        rhs.swap(col, pivot_row);
+        for row in (col + 1)..n {
+            let factor = m[row][col] / m[col][col];
+            for k in col..n {
+                m[row][k] -= factor * m[col][k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for col in (row + 1)..n {
+            acc -= m[row][col] * x[col];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Multiplies matrix `a` (n×n) by vector `x`.
+pub(crate) fn mat_vec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    a.iter().map(|row| row.iter().zip(x).map(|(aij, xj)| aij * xj).sum()).collect()
+}
+
+/// Infinity norm of the matrix (maximum absolute row sum); an upper bound on the
+/// spectral radius used for the fixed-point stability criterion.
+#[allow(dead_code)]
+pub(crate) fn inf_norm(a: &[Vec<f64>]) -> f64 {
+    a.iter().map(|row| row.iter().map(|v| v.abs()).sum::<f64>()).fold(0.0, f64::max)
+}
+
+/// Estimates the spectral radius of `a` with power iteration on `|a|`.
+pub(crate) fn spectral_radius(a: &[Vec<f64>], iterations: usize) -> f64 {
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let abs: Vec<Vec<f64>> = a.iter().map(|r| r.iter().map(|v| v.abs()).collect()).collect();
+    let mut v = vec![1.0 / (n as f64).sqrt(); n];
+    let mut lambda = 0.0;
+    for _ in 0..iterations.max(1) {
+        let w = mat_vec(&abs, &v);
+        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return 0.0;
+        }
+        lambda = norm;
+        v = w.into_iter().map(|x| x / norm).collect();
+    }
+    lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(&a, &[3.0, -2.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        let a = vec![vec![2.0, 1.0, -1.0], vec![-3.0, -1.0, 2.0], vec![-2.0, 1.0, 2.0]];
+        let b = [8.0, -11.0, -3.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0]).is_none());
+        assert!(solve(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal() {
+        let a = vec![vec![0.5, 0.0], vec![0.0, -0.8]];
+        let r = spectral_radius(&a, 100);
+        assert!((r - 0.8).abs() < 1e-6);
+        assert!(inf_norm(&a) >= r);
+    }
+}

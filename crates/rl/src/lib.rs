@@ -1,0 +1,368 @@
+//! Reinforcement-learning baselines for SoC resource management.
+//!
+//! Section IV-A2 of the DAC 2020 paper discusses why reinforcement learning is
+//! a poor fit for runtime resource management: table-based Q-learning needs
+//! too much storage and exploration, and deep-Q approaches converge too slowly
+//! for workloads that change within seconds.  Figures 3 and 4 quantify this by
+//! comparing an RL agent against the online-IL policy; both agents implemented
+//! here exist to regenerate that comparison.
+//!
+//! * [`QTableAgent`] — tabular Q-learning over a discretised counter state.
+//! * [`DqnAgent`] — a small neural Q-network trained online (no replay across
+//!   episodes, as a firmware implementation would have to operate).
+//!
+//! Both implement [`soclearn_soc_sim::DvfsPolicy`]; the reward is the negative
+//! energy of the executed snippet, delivered through
+//! [`soclearn_soc_sim::DvfsPolicy::observe_outcome`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use soclearn_online_learning::mlp::{argmax, Mlp, MlpBuilder};
+use soclearn_soc_sim::{DvfsConfig, DvfsPolicy, PolicyDecision, SnippetCounters, SocPlatform};
+
+/// Number of bins used when discretising utilization and memory intensity.
+const STATE_BINS: usize = 4;
+
+/// Shared hyper-parameters of the RL agents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RlConfig {
+    /// Learning rate (α for the table, SGD rate for the network).
+    pub learning_rate: f64,
+    /// Discount factor γ.
+    pub discount: f64,
+    /// Initial exploration rate ε.
+    pub epsilon_start: f64,
+    /// Final exploration rate after decay.
+    pub epsilon_end: f64,
+    /// Multiplicative ε decay applied after every decision.
+    pub epsilon_decay: f64,
+    /// RNG seed for exploration.
+    pub seed: u64,
+}
+
+impl Default for RlConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.10,
+            discount: 0.90,
+            epsilon_start: 0.6,
+            epsilon_end: 0.05,
+            epsilon_decay: 0.995,
+            seed: 11,
+        }
+    }
+}
+
+/// Discretises the counter state into a small index usable by the Q-table.
+fn discretise_state(platform: &SocPlatform, counters: &SnippetCounters, current: DvfsConfig) -> usize {
+    let util_bin = ((counters.big_cluster_utilization * STATE_BINS as f64) as usize).min(STATE_BINS - 1);
+    let kilo_instructions = (counters.instructions_retired / 1000.0).max(1e-9);
+    let ext_pki = counters.external_memory_requests / kilo_instructions;
+    // Memory intensity bins at roughly 2, 5 and 9 external requests per kilo-instruction.
+    let mem_bin = if ext_pki < 2.0 {
+        0
+    } else if ext_pki < 5.0 {
+        1
+    } else if ext_pki < 9.0 {
+        2
+    } else {
+        3
+    };
+    let config_index = platform.config_index(current);
+    (config_index * STATE_BINS + util_bin) * STATE_BINS + mem_bin
+}
+
+/// Number of discrete states for a platform.
+fn state_count(platform: &SocPlatform) -> usize {
+    platform.config_count() * STATE_BINS * STATE_BINS
+}
+
+// ---------------------------------------------------------------------------
+// Tabular Q-learning
+// ---------------------------------------------------------------------------
+
+/// Table-based Q-learning agent over the discretised counter state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTableAgent {
+    q: Vec<Vec<f64>>,
+    config: RlConfig,
+    epsilon: f64,
+    rng: ChaCha8Rng,
+    last_state: Option<usize>,
+    last_action: Option<usize>,
+    pending_reward: Option<f64>,
+    decisions: usize,
+}
+
+impl QTableAgent {
+    /// Creates an agent for the given platform.
+    pub fn new(platform: &SocPlatform, config: RlConfig) -> Self {
+        Self {
+            q: vec![vec![0.0; platform.config_count()]; state_count(platform)],
+            epsilon: config.epsilon_start,
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            config,
+            last_state: None,
+            last_action: None,
+            pending_reward: None,
+            decisions: 0,
+        }
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of decisions taken so far.
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+
+    /// Storage footprint of the Q-table in bytes (the paper's argument against
+    /// table-based RL in firmware).
+    pub fn table_bytes(&self) -> usize {
+        self.q.len() * self.q.first().map_or(0, Vec::len) * std::mem::size_of::<f64>()
+    }
+}
+
+impl DvfsPolicy for QTableAgent {
+    fn name(&self) -> &str {
+        "rl-qtable"
+    }
+
+    fn decide(&mut self, platform: &SocPlatform, decision: PolicyDecision<'_>) -> DvfsConfig {
+        let state = discretise_state(platform, decision.counters, decision.current_config);
+
+        // Q-update for the previous transition once its reward has arrived.
+        if let (Some(prev_state), Some(prev_action), Some(reward)) =
+            (self.last_state, self.last_action, self.pending_reward.take())
+        {
+            let best_next = self.q[state].iter().cloned().fold(f64::MIN, f64::max);
+            let target = reward + self.config.discount * best_next;
+            let entry = &mut self.q[prev_state][prev_action];
+            *entry += self.config.learning_rate * (target - *entry);
+        }
+
+        // ε-greedy action selection.
+        let action = if self.rng.gen_bool(self.epsilon) {
+            self.rng.gen_range(0..platform.config_count())
+        } else {
+            argmax(&self.q[state])
+        };
+        self.epsilon = (self.epsilon * self.config.epsilon_decay).max(self.config.epsilon_end);
+        self.last_state = Some(state);
+        self.last_action = Some(action);
+        self.decisions += 1;
+        platform.config_from_index(action)
+    }
+
+    fn observe_outcome(&mut self, energy_j: f64, _time_s: f64) {
+        // Negative energy as reward; scaled so typical snippets land around ±1.
+        self.pending_reward = Some(-energy_j);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DQN-style agent
+// ---------------------------------------------------------------------------
+
+/// Deep-Q-learning agent: a small MLP maps the continuous counter features to
+/// one Q-value per configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DqnAgent {
+    network: Mlp,
+    config: RlConfig,
+    epsilon: f64,
+    rng: ChaCha8Rng,
+    last_features: Option<Vec<f64>>,
+    last_action: Option<usize>,
+    pending_reward: Option<f64>,
+    decisions: usize,
+}
+
+impl DqnAgent {
+    /// Creates an agent for the given platform.
+    pub fn new(platform: &SocPlatform, config: RlConfig) -> Self {
+        let network = MlpBuilder::new(
+            SnippetCounters::NORMALIZED_FEATURE_DIM + 2,
+            platform.config_count(),
+        )
+        .hidden_layers(&[32])
+        .learning_rate(config.learning_rate * 0.1)
+        .seed(config.seed)
+        .build();
+        Self {
+            network,
+            epsilon: config.epsilon_start,
+            rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0xD00D),
+            config,
+            last_features: None,
+            last_action: None,
+            pending_reward: None,
+            decisions: 0,
+        }
+    }
+
+    fn features(platform: &SocPlatform, counters: &SnippetCounters, current: DvfsConfig) -> Vec<f64> {
+        let mut f = counters.normalized_features();
+        f.push(current.little_idx as f64 / platform.level_count(soclearn_soc_sim::ClusterKind::Little) as f64);
+        f.push(current.big_idx as f64 / platform.level_count(soclearn_soc_sim::ClusterKind::Big) as f64);
+        f
+    }
+
+    /// Number of decisions taken so far.
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl DvfsPolicy for DqnAgent {
+    fn name(&self) -> &str {
+        "rl-dqn"
+    }
+
+    fn decide(&mut self, platform: &SocPlatform, decision: PolicyDecision<'_>) -> DvfsConfig {
+        let features = Self::features(platform, decision.counters, decision.current_config);
+
+        // One-step temporal-difference update for the previous transition.
+        if let (Some(prev_features), Some(prev_action), Some(reward)) =
+            (self.last_features.take(), self.last_action, self.pending_reward.take())
+        {
+            let next_q = self.network.forward(&features);
+            let best_next = next_q.iter().cloned().fold(f64::MIN, f64::max);
+            let mut target = self.network.forward(&prev_features);
+            target[prev_action] = reward + self.config.discount * best_next;
+            let _ = self.network.train_regression(&prev_features, &target);
+        }
+
+        let action = if self.rng.gen_bool(self.epsilon) {
+            self.rng.gen_range(0..platform.config_count())
+        } else {
+            argmax(&self.network.forward(&features))
+        };
+        self.epsilon = (self.epsilon * self.config.epsilon_decay).max(self.config.epsilon_end);
+        self.last_features = Some(features);
+        self.last_action = Some(action);
+        self.decisions += 1;
+        platform.config_from_index(action)
+    }
+
+    fn observe_outcome(&mut self, energy_j: f64, _time_s: f64) {
+        self.pending_reward = Some(-energy_j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soclearn_soc_sim::SocSimulator;
+    use soclearn_workloads::{BenchmarkSuite, SuiteKind};
+
+    fn run_agent(platform: &SocPlatform, agent: &mut dyn DvfsPolicy, snippets: usize) -> f64 {
+        let suite = BenchmarkSuite::generate(SuiteKind::Cortex, 7);
+        let profiles: Vec<_> = suite
+            .benchmarks()
+            .iter()
+            .flat_map(|b| b.snippets().iter().cloned())
+            .cycle()
+            .take(snippets)
+            .collect();
+        let mut sim = SocSimulator::new(platform.clone());
+        let mut counters = SnippetCounters::default();
+        let mut config = platform.max_config();
+        let mut total = 0.0;
+        for (i, p) in profiles.iter().enumerate() {
+            config = agent.decide(platform, PolicyDecision::new(&counters, config, i));
+            let r = sim.execute_snippet(p, config);
+            agent.observe_outcome(r.energy_j, r.time_s);
+            counters = r.counters;
+            total += r.energy_j;
+        }
+        total
+    }
+
+    #[test]
+    fn qtable_agent_explores_then_exploits() {
+        let platform = SocPlatform::small();
+        let mut agent = QTableAgent::new(&platform, RlConfig::default());
+        let initial_epsilon = agent.epsilon();
+        let _ = run_agent(&platform, &mut agent, 150);
+        assert!(agent.epsilon() < initial_epsilon);
+        assert_eq!(agent.decisions(), 150);
+        assert!(agent.table_bytes() > 1000, "table storage should be non-trivial");
+    }
+
+    #[test]
+    fn qtable_learning_reduces_energy_over_time() {
+        let platform = SocPlatform::small();
+        let mut agent = QTableAgent::new(&platform, RlConfig::default());
+        let early = run_agent(&platform, &mut agent, 120);
+        let late = run_agent(&platform, &mut agent, 120);
+        assert!(
+            late < early * 1.05,
+            "energy should not grow as the agent learns: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn dqn_agent_runs_and_decays_epsilon() {
+        let platform = SocPlatform::small();
+        let mut agent = DqnAgent::new(&platform, RlConfig::default());
+        let _ = run_agent(&platform, &mut agent, 100);
+        assert_eq!(agent.decisions(), 100);
+        assert!(agent.epsilon() < RlConfig::default().epsilon_start);
+    }
+
+    #[test]
+    fn rl_converges_slower_than_oracle_quality() {
+        // The premise of Figures 3 and 4: within a realistic adaptation window the
+        // RL agent stays measurably above Oracle energy.
+        let platform = SocPlatform::small();
+        let suite = BenchmarkSuite::generate(SuiteKind::Cortex, 7);
+        let profiles: Vec<_> =
+            suite.benchmarks().iter().flat_map(|b| b.snippets().iter().cloned()).collect();
+        let mut oracle_sim = SocSimulator::new(platform.clone());
+        let oracle =
+            soclearn_oracle::OracleRun::execute(&mut oracle_sim, &profiles, soclearn_oracle::OracleObjective::Energy);
+
+        let mut agent = QTableAgent::new(&platform, RlConfig::default());
+        let mut sim = SocSimulator::new(platform.clone());
+        let mut counters = SnippetCounters::default();
+        let mut config = platform.max_config();
+        let mut rl_energy = 0.0;
+        for (i, p) in profiles.iter().enumerate() {
+            config = agent.decide(&platform, PolicyDecision::new(&counters, config, i));
+            let r = sim.execute_snippet(p, config);
+            agent.observe_outcome(r.energy_j, r.time_s);
+            counters = r.counters;
+            rl_energy += r.energy_j;
+        }
+        let ratio = rl_energy / oracle.total_energy_j;
+        assert!(ratio > 1.02, "RL should remain above Oracle energy early on (ratio {ratio:.3})");
+        assert!(ratio < 3.0, "but it should not be absurdly bad (ratio {ratio:.3})");
+    }
+
+    #[test]
+    fn state_discretisation_is_in_range() {
+        let platform = SocPlatform::odroid_xu3();
+        let sim = SocSimulator::new(platform.clone());
+        let profile = soclearn_workloads::SnippetProfile::memory_bound(100_000_000);
+        for config in platform.configs() {
+            let r = sim.evaluate_snippet(&profile, config);
+            let s = discretise_state(&platform, &r.counters, config);
+            assert!(s < state_count(&platform));
+        }
+        assert_eq!(state_count(&platform), platform.config_count() * 16);
+    }
+}

@@ -1,0 +1,411 @@
+//! Snippet execution model: time, energy, counters and thermal state.
+
+use serde::{Deserialize, Serialize};
+use soclearn_power_thermal::thermal::RcThermalModel;
+use soclearn_workloads::SnippetProfile;
+
+use crate::counters::SnippetCounters;
+use crate::platform::{ClusterKind, DvfsConfig, SocPlatform};
+
+/// Fraction of a snippet's instructions that execute as OS / background work on
+/// the LITTLE cluster while the application itself occupies the big cluster.
+const OS_BACKGROUND_FRACTION: f64 = 0.03;
+
+/// Fraction of an external-memory stall that cannot be hidden by out-of-order
+/// execution (memory-level-parallelism overlap factor).
+const MEMORY_STALL_EXPOSURE: f64 = 1.0;
+
+/// CPI penalty multiplier of the in-order LITTLE cores relative to the big cores.
+const LITTLE_CPI_FACTOR: f64 = 1.7;
+
+/// Outcome of executing (or evaluating) one snippet at one DVFS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnippetExecution {
+    /// Configuration the snippet ran at.
+    pub config: DvfsConfig,
+    /// Wall-clock execution time of the snippet, in seconds.
+    pub time_s: f64,
+    /// Total chip energy consumed by the snippet, in joules.
+    pub energy_j: f64,
+    /// Average chip power over the snippet, in watts.
+    pub avg_power_w: f64,
+    /// Average big-cluster power over the snippet, in watts.
+    pub big_cluster_power_w: f64,
+    /// Average LITTLE-cluster power over the snippet, in watts.
+    pub little_cluster_power_w: f64,
+    /// The Table I counters collected during the snippet.
+    pub counters: SnippetCounters,
+}
+
+impl SnippetExecution {
+    /// Energy-delay product (J·s), an alternative optimisation objective.
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy_j * self.time_s
+    }
+
+    /// Throughput in instructions per second.
+    pub fn instructions_per_second(&self) -> f64 {
+        self.counters.instructions_retired / self.time_s.max(1e-12)
+    }
+
+    /// Performance-per-watt in instructions per joule.
+    pub fn instructions_per_joule(&self) -> f64 {
+        self.counters.instructions_retired / self.energy_j.max(1e-12)
+    }
+}
+
+/// Analytical simulator of a big.LITTLE SoC executing snippet workloads.
+///
+/// The simulator is deterministic: executing the same snippet sequence at the
+/// same configurations always produces identical results, which keeps every
+/// experiment in the repository reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocSimulator {
+    platform: SocPlatform,
+    thermal: RcThermalModel,
+    total_energy_j: f64,
+    total_time_s: f64,
+    snippets_executed: usize,
+}
+
+impl SocSimulator {
+    /// Creates a simulator for the given platform at 25 °C ambient.
+    pub fn new(platform: SocPlatform) -> Self {
+        Self {
+            platform,
+            thermal: RcThermalModel::mobile_soc(25.0),
+            total_energy_j: 0.0,
+            total_time_s: 0.0,
+            snippets_executed: 0,
+        }
+    }
+
+    /// The platform description.
+    pub fn platform(&self) -> &SocPlatform {
+        &self.platform
+    }
+
+    /// Total energy consumed by all executed snippets so far, in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// Total wall-clock time of all executed snippets so far, in seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.total_time_s
+    }
+
+    /// Number of snippets executed (not merely evaluated) so far.
+    pub fn snippets_executed(&self) -> usize {
+        self.snippets_executed
+    }
+
+    /// Current big-cluster temperature in °C.
+    pub fn big_temperature_c(&self) -> f64 {
+        self.thermal.temperatures()[self.thermal.node_index("big").expect("big node exists")]
+    }
+
+    /// Current LITTLE-cluster temperature in °C.
+    pub fn little_temperature_c(&self) -> f64 {
+        self.thermal.temperatures()[self.thermal.node_index("little").expect("little node exists")]
+    }
+
+    /// Resets accumulated energy, time and the thermal state.
+    pub fn reset(&mut self) {
+        self.thermal.reset();
+        self.total_energy_j = 0.0;
+        self.total_time_s = 0.0;
+        self.snippets_executed = 0;
+    }
+
+    /// Evaluates the snippet at the configuration **without** committing thermal
+    /// state or accumulating energy — this is the "what would happen" primitive
+    /// that Oracle construction and the runtime candidate evaluation use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid for the platform.
+    pub fn evaluate_snippet(&self, profile: &SnippetProfile, config: DvfsConfig) -> SnippetExecution {
+        assert!(self.platform.is_valid(config), "invalid DVFS configuration {config}");
+        let f_big = self.platform.frequency(ClusterKind::Big, config);
+        let f_little = self.platform.frequency(ClusterKind::Little, config);
+        let cores = self.platform.cores_per_cluster() as f64;
+
+        // --- Big-cluster CPI model -------------------------------------------------
+        let base_cpi = 1.0 / profile.ilp;
+        let l2_hit_mpki = profile.l2_mpki * (1.0 - profile.external_memory_fraction);
+        let ext_mpki = profile.l2_mpki * profile.external_memory_fraction;
+        let l2_stall_cpi = l2_hit_mpki / 1000.0 * self.platform.l2_latency_cycles();
+        // External misses cost a fixed latency in *time*; expressed in cycles the
+        // stall grows with frequency, which is what makes memory-bound snippets
+        // insensitive to DVFS.
+        let dram_stall_cpi = ext_mpki / 1000.0
+            * (self.platform.dram_latency_ns() * 1e-9)
+            * f_big
+            * MEMORY_STALL_EXPOSURE;
+        let branch_cpi =
+            profile.branch_misprediction_pki / 1000.0 * self.platform.branch_penalty_cycles();
+        let cpi_big = base_cpi + l2_stall_cpi + dram_stall_cpi + branch_cpi;
+
+        let app_instructions = profile.instructions as f64;
+        let cycles_big = app_instructions * cpi_big;
+        let threads_on_big = profile.thread_count.min(self.platform.cores_per_cluster());
+        let speedup = profile.amdahl_speedup(threads_on_big);
+        let busy_big_s = cycles_big / f_big / speedup;
+
+        // --- LITTLE-cluster background work -----------------------------------------
+        let os_instructions = app_instructions * OS_BACKGROUND_FRACTION;
+        let cpi_little = cpi_big.min(4.0) * LITTLE_CPI_FACTOR;
+        let cycles_little = os_instructions * cpi_little;
+        let busy_little_s = cycles_little / f_little;
+
+        // The application determines the wall time; background work overlaps it.
+        let time_s = busy_big_s.max(busy_little_s).max(1e-9);
+
+        // --- Utilizations ------------------------------------------------------------
+        // Power sees the fraction of the *whole cluster's* switching capacity in use;
+        // the reported counter follows what OS governors act on: the busy fraction of
+        // the active cores, discounting cycles stalled on DRAM.
+        let power_util_big = (threads_on_big as f64 / cores) * (busy_big_s / time_s).min(1.0);
+        let power_util_little = (1.0 / cores) * (busy_little_s / time_s).min(1.0);
+        let dram_stall_fraction = dram_stall_cpi / cpi_big;
+        let big_util = (busy_big_s / time_s).min(1.0) * (1.0 - dram_stall_fraction);
+        let little_util = (busy_little_s / time_s).min(1.0);
+
+        // --- Power and energy ---------------------------------------------------------
+        let temp_big = self.big_temperature_c();
+        let temp_little = self.little_temperature_c();
+        let p_big = self.platform.power_params(ClusterKind::Big).power(
+            self.platform.vf_curve(ClusterKind::Big),
+            f_big,
+            power_util_big,
+            temp_big,
+        );
+        let p_little = self.platform.power_params(ClusterKind::Little).power(
+            self.platform.vf_curve(ClusterKind::Little),
+            f_little,
+            power_util_little,
+            temp_little,
+        );
+        let external_requests = profile.external_memory_requests();
+        let dram_energy_j = external_requests * self.platform.dram_energy_per_access_j();
+        let p_background = self.platform.background_power_w() + dram_energy_j / time_s;
+        let avg_power_w = p_big + p_little + p_background;
+        let energy_j = avg_power_w * time_s;
+
+        // --- Counters ------------------------------------------------------------------
+        let counters = SnippetCounters {
+            instructions_retired: app_instructions + os_instructions,
+            cpu_cycles_total: cycles_big + cycles_little,
+            branch_mispredictions_per_core: profile.branch_mispredictions()
+                / threads_on_big.max(1) as f64,
+            l2_cache_misses: profile.l2_misses(),
+            data_memory_accesses: profile.data_memory_accesses(),
+            external_memory_requests: external_requests,
+            little_cluster_utilization: little_util,
+            big_cluster_utilization: big_util,
+            total_chip_power_w: avg_power_w,
+        };
+
+        SnippetExecution {
+            config,
+            time_s,
+            energy_j,
+            avg_power_w,
+            big_cluster_power_w: p_big,
+            little_cluster_power_w: p_little,
+            counters,
+        }
+    }
+
+    /// Per-cluster power of an evaluated snippet, used to drive the thermal model.
+    fn cluster_powers(&self, execution: &SnippetExecution) -> [f64; 4] {
+        [execution.big_cluster_power_w, execution.little_cluster_power_w, 0.0, 0.0]
+    }
+
+    /// Executes the snippet at the configuration: evaluates it, commits the energy
+    /// and time, and advances the thermal model for the snippet duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid for the platform.
+    pub fn execute_snippet(&mut self, profile: &SnippetProfile, config: DvfsConfig) -> SnippetExecution {
+        let execution = self.evaluate_snippet(profile, config);
+        let powers = self.cluster_powers(&execution);
+        let steps = (execution.time_s / self.thermal.step_s()).ceil().min(10_000.0) as usize;
+        for _ in 0..steps.max(1) {
+            self.thermal.step(&powers);
+        }
+        self.total_energy_j += execution.energy_j;
+        self.total_time_s += execution.time_s;
+        self.snippets_executed += 1;
+        execution
+    }
+
+    /// Executes a whole snippet sequence at a fixed configuration, returning the
+    /// per-snippet results.
+    pub fn execute_sequence(
+        &mut self,
+        profiles: &[SnippetProfile],
+        config: DvfsConfig,
+    ) -> Vec<SnippetExecution> {
+        profiles.iter().map(|p| self.execute_snippet(p, config)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soclearn_workloads::SnippetProfile;
+
+    fn sim() -> SocSimulator {
+        SocSimulator::new(SocPlatform::odroid_xu3())
+    }
+
+    #[test]
+    fn compute_bound_scales_with_frequency() {
+        let s = sim();
+        let snippet = SnippetProfile::compute_bound(100_000_000);
+        let slow = s.evaluate_snippet(&snippet, DvfsConfig::new(0, 0));
+        let fast = s.evaluate_snippet(&snippet, DvfsConfig::new(0, 7));
+        // 0.6 GHz -> 2.0 GHz should speed a compute-bound snippet up by ~3x.
+        let speedup = slow.time_s / fast.time_s;
+        assert!(speedup > 2.5, "compute-bound speedup {speedup} too small");
+    }
+
+    #[test]
+    fn memory_bound_is_frequency_insensitive() {
+        let s = sim();
+        let snippet = SnippetProfile::memory_bound(100_000_000);
+        let slow = s.evaluate_snippet(&snippet, DvfsConfig::new(0, 0));
+        let fast = s.evaluate_snippet(&snippet, DvfsConfig::new(0, 7));
+        let speedup = slow.time_s / fast.time_s;
+        assert!(speedup < 2.2, "memory-bound speedup {speedup} should be limited by DRAM");
+    }
+
+    #[test]
+    fn optimal_energy_config_depends_on_workload() {
+        let s = sim();
+        let compute = SnippetProfile::compute_bound(100_000_000);
+        let memory = SnippetProfile::memory_bound(100_000_000);
+        let best_big = |p: &SnippetProfile| {
+            (0..8)
+                .min_by(|&a, &b| {
+                    let ea = s.evaluate_snippet(p, DvfsConfig::new(0, a)).energy_j;
+                    let eb = s.evaluate_snippet(p, DvfsConfig::new(0, b)).energy_j;
+                    ea.partial_cmp(&eb).unwrap()
+                })
+                .unwrap()
+        };
+        let best_compute = best_big(&compute);
+        let best_memory = best_big(&memory);
+        assert!(
+            best_compute > best_memory,
+            "compute-bound should prefer higher frequency ({best_compute}) than memory-bound ({best_memory})"
+        );
+    }
+
+    #[test]
+    fn energy_and_time_are_positive_for_every_config() {
+        let s = sim();
+        let snippet = SnippetProfile::memory_bound(100_000_000);
+        for config in s.platform().configs() {
+            let r = s.evaluate_snippet(&snippet, config);
+            assert!(r.time_s > 0.0 && r.energy_j > 0.0 && r.avg_power_w > 0.0);
+            assert!(r.counters.big_cluster_utilization <= 1.0);
+            assert!(r.counters.little_cluster_utilization <= 1.0);
+            assert!((r.energy_j / r.time_s - r.avg_power_w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn execute_accumulates_and_heats_up() {
+        let mut s = sim();
+        let snippet = SnippetProfile::compute_bound(100_000_000);
+        let t0 = s.big_temperature_c();
+        for _ in 0..20 {
+            s.execute_snippet(&snippet, DvfsConfig::new(2, 7));
+        }
+        assert_eq!(s.snippets_executed(), 20);
+        assert!(s.total_energy_j() > 0.0 && s.total_time_s() > 0.0);
+        assert!(s.big_temperature_c() > t0, "running flat out should heat the big cluster");
+        s.reset();
+        assert_eq!(s.snippets_executed(), 0);
+        assert_eq!(s.total_energy_j(), 0.0);
+        assert!((s.big_temperature_c() - t0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_does_not_mutate() {
+        let s = sim();
+        let snippet = SnippetProfile::compute_bound(100_000_000);
+        let before = s.clone();
+        let _ = s.evaluate_snippet(&snippet, DvfsConfig::new(1, 3));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn multithreaded_snippets_run_faster_but_draw_more_power() {
+        let s = sim();
+        let single = SnippetProfile::new(
+            100_000_000,
+            soclearn_workloads::SnippetPhase::Mixed,
+            0.3,
+            4.0,
+            0.6,
+            2.0,
+            1.8,
+            1,
+            0.0,
+        );
+        let quad = SnippetProfile::new(
+            100_000_000,
+            soclearn_workloads::SnippetPhase::Mixed,
+            0.3,
+            4.0,
+            0.6,
+            2.0,
+            1.8,
+            4,
+            0.9,
+        );
+        let config = DvfsConfig::new(2, 5);
+        let r1 = s.evaluate_snippet(&single, config);
+        let r4 = s.evaluate_snippet(&quad, config);
+        assert!(r4.time_s < r1.time_s);
+        assert!(r4.avg_power_w > r1.avg_power_w);
+        assert!(r4.counters.big_cluster_utilization > 0.4);
+        assert!(r4.big_cluster_power_w > r1.big_cluster_power_w);
+    }
+
+    #[test]
+    fn sequence_execution_matches_sum_of_snippets() {
+        let mut s = sim();
+        let snippets = vec![
+            SnippetProfile::compute_bound(100_000_000),
+            SnippetProfile::memory_bound(100_000_000),
+        ];
+        let results = s.execute_sequence(&snippets, DvfsConfig::new(1, 4));
+        assert_eq!(results.len(), 2);
+        let total: f64 = results.iter().map(|r| r.energy_j).sum();
+        assert!((total - s.total_energy_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_metrics_are_consistent() {
+        let s = sim();
+        let snippet = SnippetProfile::compute_bound(100_000_000);
+        let r = s.evaluate_snippet(&snippet, DvfsConfig::new(2, 6));
+        assert!(r.energy_delay_product() > 0.0);
+        assert!(r.instructions_per_second() > 1e8);
+        assert!(r.instructions_per_joule() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DVFS configuration")]
+    fn evaluate_rejects_invalid_config() {
+        let s = sim();
+        let snippet = SnippetProfile::compute_bound(1000);
+        let _ = s.evaluate_snippet(&snippet, DvfsConfig::new(10, 10));
+    }
+}

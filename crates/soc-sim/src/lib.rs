@@ -1,0 +1,47 @@
+//! Heterogeneous big.LITTLE SoC simulator.
+//!
+//! The DAC 2020 paper evaluates its imitation-learning resource manager on the
+//! Odroid-XU3 board (Samsung Exynos 5422: four Cortex-A15 "big" cores and four
+//! Cortex-A7 "LITTLE" cores, each cluster with independent DVFS).  That board
+//! is not available here, so this crate provides the substitute substrate: an
+//! analytical simulator that executes snippet workloads
+//! ([`soclearn_workloads::SnippetProfile`]) at any supported DVFS
+//! configuration and reports execution time, energy and the full Table I
+//! performance-counter set.
+//!
+//! The simulator preserves the properties the control experiments depend on:
+//!
+//! * compute-bound snippets speed up with core frequency, memory-bound ones do
+//!   not, so the minimum-energy configuration depends on the workload;
+//! * power follows the `C·V²·f·u` + leakage model of the
+//!   [`soclearn_power_thermal`] crate, so running faster than necessary wastes
+//!   energy while running too slowly wastes static energy;
+//! * cluster temperatures evolve through an RC thermal model, coupling
+//!   leakage to the recent execution history.
+//!
+//! # Example
+//!
+//! ```
+//! use soclearn_soc_sim::{DvfsConfig, SocPlatform, SocSimulator};
+//! use soclearn_workloads::SnippetProfile;
+//!
+//! let platform = SocPlatform::odroid_xu3();
+//! let mut sim = SocSimulator::new(platform);
+//! let snippet = SnippetProfile::compute_bound(100_000_000);
+//! let config = DvfsConfig::new(2, 5);
+//! let result = sim.execute_snippet(&snippet, config);
+//! assert!(result.time_s > 0.0 && result.energy_j > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod execution;
+pub mod platform;
+pub mod policy;
+
+pub use counters::SnippetCounters;
+pub use execution::{SnippetExecution, SocSimulator};
+pub use platform::{ClusterKind, DvfsConfig, SocPlatform};
+pub use policy::{DvfsPolicy, FixedConfigPolicy, PolicyDecision};

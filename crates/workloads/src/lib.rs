@@ -1,0 +1,47 @@
+//! Synthetic benchmark suites and snippet-level workload generation.
+//!
+//! The DAC 2020 paper evaluates its resource-management policies on real
+//! benchmark suites (Mi-Bench, CortexSuite, PARSEC and a set of Android
+//! graphics workloads) executed on commercial boards.  Those applications and
+//! boards are not available in this environment, so this crate provides the
+//! closest synthetic equivalent: every application is described as a sequence
+//! of *snippets* (fixed-instruction-count segments, exactly as the paper's IL
+//! methodology segments applications) with intrinsic, hardware-independent
+//! characteristics such as memory intensity, branch behaviour and thread-level
+//! parallelism.  The [`suites`] module generates suites whose distributions
+//! deliberately differ from one another so that the paper's
+//! generalisation-gap experiments (Table II, Figures 3 and 4) remain
+//! meaningful.
+//!
+//! # Example
+//!
+//! ```
+//! use soclearn_workloads::suites::SuiteKind;
+//! use soclearn_workloads::BenchmarkSuite;
+//!
+//! let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 42);
+//! assert!(!suite.benchmarks().is_empty());
+//! let total_snippets: usize = suite.benchmarks().iter().map(|b| b.snippets().len()).sum();
+//! assert!(total_snippets > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graphics;
+pub mod sequence;
+pub mod snippet;
+pub mod suites;
+
+pub use graphics::{FrameTrace, GraphicsWorkload};
+pub use sequence::ApplicationSequence;
+pub use snippet::{SnippetPhase, SnippetProfile};
+pub use suites::{Benchmark, BenchmarkSuite, SuiteKind};
+
+/// Number of instructions in one workload-conservative snippet.
+///
+/// The paper (Section IV-A1) segments applications into snippets with a fixed
+/// number of instructions so that the work represented by a snippet is
+/// independent of the hardware configuration it executes on.  100 million
+/// instructions is the granularity used by the DyPO / online-IL line of work.
+pub const SNIPPET_INSTRUCTIONS: u64 = 100_000_000;

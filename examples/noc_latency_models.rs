@@ -1,0 +1,20 @@
+//! Reproduces the Section III-C comparison of NoC latency models: queueing
+//! simulation (ground truth) versus the analytical M/D/1 model versus the
+//! learned SVR-style model.
+//!
+//! ```text
+//! cargo run --release --example noc_latency_models
+//! ```
+
+use soclearn_core::experiments::{noc_latency_models, ExperimentScale};
+
+fn main() {
+    let result = noc_latency_models(ExperimentScale::Full);
+    println!("{}", result.render());
+    println!(
+        "Analytical model MAPE: {:.1}%   Learned (SVR-style) model MAPE: {:.1}%",
+        result.analytical_mape, result.learned_mape
+    );
+    println!("\nThe learned model uses the analytical estimate as a feature (hybrid modelling),");
+    println!("so it tracks the simulator at least as well while generalising across mesh sizes.");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: run three resource-management policies over the same workload
+//! and compare their energy against the Oracle.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use soclearn_core::harness::run_policy;
+use soclearn_core::prelude::*;
+use soclearn_core::report::{ratio, render_table};
+
+fn main() {
+    // 1. The simulated platform: an Odroid-XU3-class big.LITTLE SoC.
+    let platform = SocPlatform::odroid_xu3();
+    println!(
+        "Platform: {} LITTLE levels x {} big levels = {} DVFS configurations",
+        platform.frequencies(soclearn_soc_sim::ClusterKind::Little).len(),
+        platform.frequencies(soclearn_soc_sim::ClusterKind::Big).len(),
+        platform.config_count()
+    );
+
+    // 2. A workload: two Mi-Bench-like and one Cortex-like application back to back.
+    let mibench = BenchmarkSuite::generate(SuiteKind::MiBench, 42);
+    let cortex = BenchmarkSuite::generate(SuiteKind::Cortex, 42);
+    let mut sequence = ApplicationSequence::new();
+    sequence.push_benchmark(&mibench.benchmarks()[1]); // Dijkstra
+    sequence.push_benchmark(&mibench.benchmarks()[2]); // FFT
+    sequence.push_benchmark(&cortex.benchmarks()[0]); // Kmeans
+    println!("Workload: {} snippets from {:?}\n", sequence.len(), sequence.benchmark_names());
+
+    // 3. The Oracle: per-snippet exhaustive search (the normalisation baseline).
+    let profiles: Vec<SnippetProfile> =
+        sequence.snippets().iter().map(|s| s.profile.clone()).collect();
+    let mut oracle_sim = SocSimulator::new(platform.clone());
+    let oracle = OracleRun::execute(&mut oracle_sim, &profiles, OracleObjective::Energy);
+
+    // 4. Candidate policies.
+    let mut rows = Vec::new();
+    let mut run = |policy: &mut dyn DvfsPolicy| {
+        let report = run_policy(&platform, policy, &sequence);
+        rows.push(vec![
+            report.policy.clone(),
+            format!("{:.2}", report.total_energy_j),
+            format!("{:.2}", report.total_time_s),
+            ratio(report.total_energy_j / oracle.total_energy_j),
+        ]);
+    };
+    run(&mut PerformanceGovernor);
+    run(&mut PowersaveGovernor);
+    run(&mut OndemandGovernor::new(&platform));
+
+    rows.push(vec![
+        "oracle".to_owned(),
+        format!("{:.2}", oracle.total_energy_j),
+        format!("{:.2}", oracle.total_time_s),
+        "1.00".to_owned(),
+    ]);
+
+    println!(
+        "{}",
+        render_table(
+            "Energy and runtime per policy",
+            &["Policy", "Energy (J)", "Time (s)", "Energy vs Oracle"],
+            &rows
+        )
+    );
+    println!("Next: examples/offline_il_generalization.rs trains an imitation-learning policy.");
+}

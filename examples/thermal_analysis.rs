@@ -1,0 +1,73 @@
+//! Power–thermal analysis walkthrough (Section III-A of the paper): thermal
+//! fixed points, sustainable power budgets and skin-temperature estimation
+//! with greedy sensor selection.
+//!
+//! ```text
+//! cargo run --example thermal_analysis
+//! ```
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use soclearn_core::prelude::*;
+use soclearn_power_thermal::power::{ClusterPowerParams, VoltageFrequencyCurve};
+use soclearn_power_thermal::skin::SensorSelection;
+
+fn main() {
+    // 1. Thermal fixed point of a sustained workload, with temperature-dependent
+    //    leakage closing the loop.
+    let model = RcThermalModel::mobile_soc(25.0);
+    let big = ClusterPowerParams::odroid_big();
+    let little = ClusterPowerParams::odroid_little();
+    let gpu = ClusterPowerParams::gpu_slice();
+    let vf_big = VoltageFrequencyCurve::odroid_big();
+    let vf_little = VoltageFrequencyCurve::odroid_little();
+    let vf_gpu = VoltageFrequencyCurve::integrated_gpu();
+    let power_fn = |temps: &[f64]| {
+        vec![
+            big.power(&vf_big, 1.8e9, 0.85, temps[0]),
+            little.power(&vf_little, 1.0e9, 0.4, temps[1]),
+            gpu.power(&vf_gpu, 0.7e9, 0.6, temps[2]),
+            0.0,
+        ]
+    };
+    let fp = FixedPointAnalysis::compute(&model, power_fn, 150.0)
+        .expect("moderate load settles to a stable fixed point");
+    println!("Thermal fixed point under a sustained mixed workload:");
+    for (node, temp) in model.nodes().iter().zip(&fp.temperatures_c) {
+        println!("  {:<7} {:6.1} C", node.name, temp);
+    }
+    println!(
+        "  total power {:.2} W, stable: {}, spectral radius {:.3}\n",
+        fp.total_power_w,
+        fp.is_stable(),
+        fp.spectral_radius
+    );
+
+    // 2. Sustainable power budget before the big cluster hits 85 C.
+    let budget = model
+        .sustainable_power_budget("big", &[3.0, 0.5, 1.5, 0.0], 85.0)
+        .expect("known node");
+    println!("Sustainable total power for an 85 C big-cluster limit: {budget:.2} W\n");
+
+    // 3. Skin-temperature estimation from internal sensors with greedy selection.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut samples = Vec::new();
+    let mut skin = Vec::new();
+    for _ in 0..500 {
+        let die_big = rng.gen_range(40.0..90.0);
+        let die_little = die_big - rng.gen_range(3.0..10.0);
+        let pcb = rng.gen_range(30.0..55.0);
+        let noise = rng.gen_range(0.0..1.0);
+        samples.push(vec![die_big, die_little, pcb, noise]);
+        skin.push(0.22 * die_big + 0.10 * die_little + 0.30 * pcb + 9.0 + rng.gen_range(-0.3..0.3));
+    }
+    let selection = SensorSelection::greedy(&samples, &skin, 2, 1e-6);
+    let estimator = SkinTemperatureEstimator::fit(&samples, &skin, &selection.sensors, 1e-6);
+    println!(
+        "Skin-temperature estimation: selected sensors {:?}, RMSE {:.2} C",
+        selection.sensors,
+        estimator.rmse(&samples, &skin)
+    );
+    println!("  estimate for [80, 73, 50, 0.5]: {:.1} C", estimator.estimate(&[80.0, 73.0, 50.0, 0.5]));
+}
