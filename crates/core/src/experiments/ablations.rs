@@ -59,7 +59,8 @@ pub fn buffer_ablation(scale: ExperimentScale, capacities: &[usize]) -> Vec<Buff
                 normalized_energy: report.total_energy_j / oracle.total_energy_j,
                 // The peak footprint is one full buffer of feature/label pairs.
                 peak_buffer_bytes: capacity
-                    * (soclearn_imitation::features::POLICY_FEATURE_DIM * std::mem::size_of::<f64>()
+                    * (soclearn_imitation::features::POLICY_FEATURE_DIM
+                        * std::mem::size_of::<f64>()
                         + 2 * std::mem::size_of::<usize>()),
                 policy_updates: stats.policy_updates,
             }

@@ -30,7 +30,12 @@ pub struct Fig2Result {
     pub mape_percent: f64,
 }
 
-fn features(platform: &GpuPlatform, work_estimate: f64, memory_estimate: f64, config: GpuConfig) -> Vec<f64> {
+fn features(
+    platform: &GpuPlatform,
+    work_estimate: f64,
+    memory_estimate: f64,
+    config: GpuConfig,
+) -> Vec<f64> {
     let f_ghz = platform.frequency(config) / 1e9;
     vec![work_estimate / 1e9 / f_ghz, memory_estimate / 1e8, 1.0 / f_ghz, 1.0]
 }

@@ -60,10 +60,7 @@ fn series_for(
     let matches: Vec<bool> =
         decisions.iter().zip(oracle).map(|(d, o)| d.big_idx == o.big_idx).collect();
     let accuracy = windowed_accuracy(&matches, 10);
-    let time_to_90_percent_s = accuracy
-        .iter()
-        .position(|&a| a >= 0.9)
-        .map(|i| time_s[i]);
+    let time_to_90_percent_s = accuracy.iter().position(|&a| a >= 0.9).map(|i| time_s[i]);
     ConvergenceSeries { policy: name.to_owned(), time_s, accuracy, time_to_90_percent_s }
 }
 
@@ -80,8 +77,11 @@ pub fn convergence_comparison(scale: ExperimentScale) -> Fig3Result {
 
     let oracle = artifacts.oracle_run(&profiles);
 
-    let mut online_il = artifacts
-        .online_policy(OnlineIlConfig { buffer_capacity: 15, neighbourhood_radius: 2, ..OnlineIlConfig::default() });
+    let mut online_il = artifacts.online_policy(OnlineIlConfig {
+        buffer_capacity: 15,
+        neighbourhood_radius: 2,
+        ..OnlineIlConfig::default()
+    });
     let il_report = run_policy(&platform, &mut online_il, &sequence);
 
     let mut rl = QTableAgent::new(&platform, RlConfig::default());
@@ -94,7 +94,12 @@ pub fn convergence_comparison(scale: ExperimentScale) -> Fig3Result {
             &oracle.decisions,
             il_report.cumulative_time_s(),
         ),
-        rl: series_for("rl", &rl_report.decisions(), &oracle.decisions, rl_report.cumulative_time_s()),
+        rl: series_for(
+            "rl",
+            &rl_report.decisions(),
+            &oracle.decisions,
+            rl_report.cumulative_time_s(),
+        ),
         sequence_time_s: oracle.total_time_s,
     }
 }

@@ -71,8 +71,11 @@ pub fn energy_comparison(scale: ExperimentScale) -> Fig4Result {
     let platform = SocPlatform::odroid_xu3();
     let artifacts = TrainingArtifacts::build(platform.clone(), scale);
 
-    let mut online_il: Box<dyn DvfsPolicy> =
-        Box::new(artifacts.online_policy(OnlineIlConfig { buffer_capacity: 15, neighbourhood_radius: 2, ..OnlineIlConfig::default() }));
+    let mut online_il: Box<dyn DvfsPolicy> = Box::new(artifacts.online_policy(OnlineIlConfig {
+        buffer_capacity: 15,
+        neighbourhood_radius: 2,
+        ..OnlineIlConfig::default()
+    }));
     let mut rl: Box<dyn DvfsPolicy> = Box::new(QTableAgent::new(&platform, RlConfig::default()));
 
     let mut rows = Vec::new();

@@ -51,7 +51,8 @@ impl Fig5Result {
 
     /// Mean performance overhead across workloads.
     pub fn mean_performance_overhead(&self) -> f64 {
-        self.rows.iter().map(|r| r.performance_overhead).sum::<f64>() / self.rows.len().max(1) as f64
+        self.rows.iter().map(|r| r.performance_overhead).sum::<f64>()
+            / self.rows.len().max(1) as f64
     }
 
     /// Renders the figure's data as a table.

@@ -30,7 +30,10 @@ pub fn profiles_of(benchmarks: &[(String, Vec<SnippetProfile>)]) -> Vec<SnippetP
 }
 
 /// Builds an [`ApplicationSequence`] with provenance from scaled benchmarks.
-pub fn sequence_of(benchmarks: &[(String, Vec<SnippetProfile>)], kind: SuiteKind) -> ApplicationSequence {
+pub fn sequence_of(
+    benchmarks: &[(String, Vec<SnippetProfile>)],
+    kind: SuiteKind,
+) -> ApplicationSequence {
     let mut seq = ApplicationSequence::new();
     for (name, snippets) in benchmarks {
         let benchmark = soclearn_workloads::Benchmark::new(name.clone(), kind, snippets.clone());

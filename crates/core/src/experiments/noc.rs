@@ -8,7 +8,9 @@
 //! least as well as the closed-form model alone.
 
 use serde::{Deserialize, Serialize};
-use soclearn_noc_sim::{AnalyticalLatencyModel, MeshConfig, NocSimulator, SvrLatencyModel, TrafficPattern};
+use soclearn_noc_sim::{
+    AnalyticalLatencyModel, MeshConfig, NocSimulator, SvrLatencyModel, TrafficPattern,
+};
 
 use super::ExperimentScale;
 
@@ -73,7 +75,8 @@ pub fn noc_latency_models(scale: ExperimentScale) -> NocModelsResult {
         let mesh = MeshConfig::new(mesh_side, mesh_side);
         let train_rates = [0.01, 0.03, 0.05, 0.07, 0.09, 0.12];
         let test_rates = [0.02, 0.04, 0.06, 0.08, 0.10];
-        let learned = SvrLatencyModel::train(mesh, TrafficPattern::Uniform, &train_rates, cycles, 7);
+        let learned =
+            SvrLatencyModel::train(mesh, TrafficPattern::Uniform, &train_rates, cycles, 7);
         let analytical = AnalyticalLatencyModel::new(mesh, TrafficPattern::Uniform);
         let mut sim = NocSimulator::new(mesh, TrafficPattern::Uniform, 99);
         for &rate in &test_rates {
@@ -88,11 +91,7 @@ pub fn noc_latency_models(scale: ExperimentScale) -> NocModelsResult {
         }
     }
     let mape = |f: &dyn Fn(&NocModelRow) -> f64| -> f64 {
-        100.0
-            * rows
-                .iter()
-                .map(|r| ((f(r) - r.simulated) / r.simulated).abs())
-                .sum::<f64>()
+        100.0 * rows.iter().map(|r| ((f(r) - r.simulated) / r.simulated).abs()).sum::<f64>()
             / rows.len() as f64
     };
     let analytical_mape = mape(&|r| r.analytical);

@@ -54,7 +54,11 @@ impl Table2Result {
             .rows
             .iter()
             .map(|r| {
-                vec![r.suite.clone(), r.benchmark.clone(), crate::report::ratio(r.normalized_energy)]
+                vec![
+                    r.suite.clone(),
+                    r.benchmark.clone(),
+                    crate::report::ratio(r.normalized_energy),
+                ]
             })
             .collect();
         crate::report::render_table(

@@ -43,7 +43,11 @@ pub struct HarnessReport {
 impl HarnessReport {
     /// Total energy of the records belonging to one benchmark.
     pub fn energy_of(&self, benchmark: &str) -> f64 {
-        self.records.iter().filter(|r| r.benchmark == benchmark).map(|r| r.energy_j).sum()
+        self.records
+            .iter()
+            .filter(|r| r.benchmark == benchmark)
+            .map(|r| r.energy_j)
+            .sum()
     }
 
     /// The chosen configurations in execution order.
@@ -132,8 +136,7 @@ mod tests {
         let seq = sequence();
         let mut governor = PerformanceGovernor;
         let report = run_policy(&platform, &mut governor, &seq);
-        let per_benchmark: f64 =
-            seq.benchmark_names().iter().map(|b| report.energy_of(b)).sum();
+        let per_benchmark: f64 = seq.benchmark_names().iter().map(|b| report.energy_of(b)).sum();
         assert!((per_benchmark - report.total_energy_j).abs() < 1e-9);
         assert_eq!(report.energy_of("not-a-benchmark"), 0.0);
     }

@@ -50,10 +50,18 @@ pub mod prelude {
     pub use soclearn_imitation::{
         OfflineIlPolicy, OnlineIlConfig, OnlineIlPolicy, PolicyModelKind,
     };
-    pub use soclearn_nmpc::{ExplicitNmpcController, GpuSensitivityModel, MultiRateNmpcController, NmpcSettings};
-    pub use soclearn_noc_sim::{AnalyticalLatencyModel, MeshConfig, NocSimulator, SvrLatencyModel, TrafficPattern};
-    pub use soclearn_oracle::{collect_demonstrations, OracleObjective, OraclePolicy, OracleRun, OracleSearch};
-    pub use soclearn_power_thermal::{FixedPointAnalysis, RcThermalModel, SkinTemperatureEstimator};
+    pub use soclearn_nmpc::{
+        ExplicitNmpcController, GpuSensitivityModel, MultiRateNmpcController, NmpcSettings,
+    };
+    pub use soclearn_noc_sim::{
+        AnalyticalLatencyModel, MeshConfig, NocSimulator, SvrLatencyModel, TrafficPattern,
+    };
+    pub use soclearn_oracle::{
+        collect_demonstrations, OracleObjective, OraclePolicy, OracleRun, OracleSearch,
+    };
+    pub use soclearn_power_thermal::{
+        FixedPointAnalysis, RcThermalModel, SkinTemperatureEstimator,
+    };
     pub use soclearn_rl::{DqnAgent, QTableAgent, RlConfig};
     pub use soclearn_soc_sim::{
         DvfsConfig, DvfsPolicy, PolicyDecision, SnippetCounters, SnippetExecution, SocPlatform,

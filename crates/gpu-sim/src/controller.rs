@@ -89,7 +89,8 @@ impl GpuController for UtilizationGovernor {
             }
             Some(prev) => {
                 let util = prev.counters.utilization;
-                if (prev.missed_deadline || util > self.up_threshold) && self.current_freq_idx < max_idx
+                if (prev.missed_deadline || util > self.up_threshold)
+                    && self.current_freq_idx < max_idx
                 {
                     self.current_freq_idx += 1;
                 } else if util < self.down_threshold && self.current_freq_idx > 0 {
@@ -141,7 +142,10 @@ mod tests {
         let final_level = run.frame_results.last().unwrap().config.freq_idx;
         assert!(final_level < platform.level_count() - 1);
         // And it never powers down slices.
-        assert!(run.frame_results.iter().all(|f| f.config.active_slices == platform.max_slices()));
+        assert!(run
+            .frame_results
+            .iter()
+            .all(|f| f.config.active_slices == platform.max_slices()));
     }
 
     #[test]
@@ -151,12 +155,9 @@ mod tests {
         let mut governor = UtilizationGovernor::new();
         let heavy = GraphicsWorkload::figure5_suite(200, 3).remove(5); // GFXBench-trex
         let run = sim.run_workload(&heavy, &mut governor);
-        let mean_level: f64 = run
-            .frame_results
-            .iter()
-            .map(|f| f.config.freq_idx as f64)
-            .sum::<f64>()
-            / run.frames as f64;
+        let mean_level: f64 =
+            run.frame_results.iter().map(|f| f.config.freq_idx as f64).sum::<f64>()
+                / run.frames as f64;
         assert!(mean_level > 3.0, "heavy workload should keep the governor at high levels");
     }
 

@@ -111,8 +111,8 @@ impl GpuSimulator {
         assert!(self.platform.is_valid(config), "invalid GPU configuration {config}");
         let freq = self.platform.frequency(config);
         let slices = config.active_slices as f64;
-        let per_slice_cycles =
-            demand.work_cycles * (demand.parallel_fraction / slices + (1.0 - demand.parallel_fraction));
+        let per_slice_cycles = demand.work_cycles
+            * (demand.parallel_fraction / slices + (1.0 - demand.parallel_fraction));
         let compute_s = per_slice_cycles / (freq * self.platform.ops_per_cycle_per_slice());
         let memory_s = demand.memory_accesses / self.platform.memory_accesses_per_s();
         compute_s + MEMORY_EXPOSURE * memory_s

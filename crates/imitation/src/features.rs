@@ -78,14 +78,15 @@ pub const CANDIDATE_FEATURE_DIM: usize = 9;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soclearn_soc_sim::{SocSimulator, SocPlatform};
+    use soclearn_soc_sim::{SocPlatform, SocSimulator};
     use soclearn_workloads::SnippetProfile;
 
     #[test]
     fn policy_features_have_documented_dimension() {
         let platform = SocPlatform::odroid_xu3();
         let sim = SocSimulator::new(platform.clone());
-        let r = sim.evaluate_snippet(&SnippetProfile::compute_bound(100_000_000), DvfsConfig::new(2, 5));
+        let r = sim
+            .evaluate_snippet(&SnippetProfile::compute_bound(100_000_000), DvfsConfig::new(2, 5));
         let f = policy_features(&platform, &r.counters, r.config);
         assert_eq!(f.len(), POLICY_FEATURE_DIM);
         assert!(f.iter().all(|v| v.is_finite()));

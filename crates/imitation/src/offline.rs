@@ -77,7 +77,8 @@ impl OfflineIlPolicy {
             .collect();
         let scaler = StandardScaler::fitted(&raw);
         let xs: Vec<Vec<f64>> = raw.iter().map(|f| scaler.transform(f)).collect();
-        let little_labels: Vec<usize> = demonstrations.iter().map(|d| d.action.little_idx).collect();
+        let little_labels: Vec<usize> =
+            demonstrations.iter().map(|d| d.action.little_idx).collect();
         let big_labels: Vec<usize> = demonstrations.iter().map(|d| d.action.big_idx).collect();
 
         let little_classes = platform.level_count(ClusterKind::Little);
@@ -86,8 +87,18 @@ impl OfflineIlPolicy {
             PolicyModelKind::Tree => {
                 let config = TreeConfig { max_depth: 10, min_samples_split: 3 };
                 (
-                    KnobModel::Tree(DecisionTreeClassifier::fitted(&xs, &little_labels, little_classes, config)),
-                    KnobModel::Tree(DecisionTreeClassifier::fitted(&xs, &big_labels, big_classes, config)),
+                    KnobModel::Tree(DecisionTreeClassifier::fitted(
+                        &xs,
+                        &little_labels,
+                        little_classes,
+                        config,
+                    )),
+                    KnobModel::Tree(DecisionTreeClassifier::fitted(
+                        &xs,
+                        &big_labels,
+                        big_classes,
+                        config,
+                    )),
                 )
             }
             PolicyModelKind::Mlp => {
@@ -126,7 +137,8 @@ impl OfflineIlPolicy {
     /// Predicts a configuration from a raw (unscaled) policy feature vector.
     pub fn predict_from_features(&self, platform: &SocPlatform, features: &[f64]) -> DvfsConfig {
         let x = self.scaler.transform(features);
-        let little = self.little_model.predict(&x).min(platform.level_count(ClusterKind::Little) - 1);
+        let little =
+            self.little_model.predict(&x).min(platform.level_count(ClusterKind::Little) - 1);
         let big = self.big_model.predict(&x).min(platform.level_count(ClusterKind::Big) - 1);
         DvfsConfig::new(little, big)
     }

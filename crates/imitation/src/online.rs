@@ -107,7 +107,10 @@ impl OnlineIlPolicy {
             scaler,
             little_mlp,
             big_mlp,
-            power_model: RecursiveLeastSquares::new(CANDIDATE_FEATURE_DIM, config.forgetting_factor),
+            power_model: RecursiveLeastSquares::new(
+                CANDIDATE_FEATURE_DIM,
+                config.forgetting_factor,
+            ),
             time_model: RecursiveLeastSquares::new(CANDIDATE_FEATURE_DIM, config.forgetting_factor),
             buffer: Vec::with_capacity(config.buffer_capacity),
             config,
@@ -131,7 +134,8 @@ impl OnlineIlPolicy {
             // Evaluate the profile once at every configuration, then train the models
             // on every (observation point, candidate) pair so they learn exactly the
             // extrapolation they are asked to perform at run time.
-            let results: Vec<_> = configs.iter().map(|&c| sim.evaluate_snippet(profile, c)).collect();
+            let results: Vec<_> =
+                configs.iter().map(|&c| sim.evaluate_snippet(profile, c)).collect();
             for observed in &results {
                 for target in &results {
                     let f = candidate_features(
@@ -140,8 +144,10 @@ impl OnlineIlPolicy {
                         observed.config,
                         target.config,
                     );
-                    self.power_model.update(&f, target.avg_power_w);
-                    self.time_model.update(&f, target.time_s);
+                    // Batch fit: no forgetting at design time, otherwise only the
+                    // last ≈1/(1-λ) of the sweep would survive into deployment.
+                    self.power_model.update_retaining(&f, target.avg_power_w);
+                    self.time_model.update_retaining(&f, target.time_s);
                 }
             }
         }
@@ -245,7 +251,8 @@ impl DvfsPolicy for OnlineIlPolicy {
             self.stats.agreements += 1;
         }
         let scaled = self.scaler.transform(&features);
-        self.stats.buffer_bytes += scaled.len() * std::mem::size_of::<f64>() + 2 * std::mem::size_of::<usize>();
+        self.stats.buffer_bytes +=
+            scaled.len() * std::mem::size_of::<f64>() + 2 * std::mem::size_of::<usize>();
         self.buffer.push((scaled, label));
         if self.buffer.len() >= self.config.buffer_capacity {
             self.retrain_from_buffer();
@@ -382,7 +389,10 @@ mod tests {
             online_acc > frozen_acc,
             "online IL accuracy ({online_acc:.2}) should exceed the frozen policy ({frozen_acc:.2})"
         );
-        assert!(online_acc > 0.5, "adapted policy should usually match the Oracle ({online_acc:.2})");
+        assert!(
+            online_acc > 0.5,
+            "adapted policy should usually match the Oracle ({online_acc:.2})"
+        );
         assert!(online.stats().agreement_rate() > 0.0);
     }
 
@@ -417,7 +427,14 @@ mod tests {
         let profile = soclearn_workloads::SnippetProfile::compute_bound(100_000_000);
         let mut counters = SnippetCounters::default();
         let mut current = platform.max_config();
-        for (i, &config) in platform.configs().iter().cycle().take(30).collect::<Vec<_>>().iter().enumerate()
+        for (i, &config) in platform
+            .configs()
+            .iter()
+            .cycle()
+            .take(30)
+            .collect::<Vec<_>>()
+            .iter()
+            .enumerate()
         {
             current = *config;
             let decision = PolicyDecision::new(&counters, current, i);

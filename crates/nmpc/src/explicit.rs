@@ -57,9 +57,10 @@ impl ExplicitNmpcController {
         let mut slice_targets = Vec::new();
         for i in 0..grid {
             for j in 0..grid {
-                let work = work_range.0 + (work_range.1 - work_range.0) * i as f64 / (grid - 1) as f64;
-                let memory =
-                    memory_range.0 + (memory_range.1 - memory_range.0) * j as f64 / (grid - 1) as f64;
+                let work =
+                    work_range.0 + (work_range.1 - work_range.0) * i as f64 / (grid - 1) as f64;
+                let memory = memory_range.0
+                    + (memory_range.1 - memory_range.0) * j as f64 / (grid - 1) as f64;
                 // Reuse the full controller's planning step as the "exact" NMPC law.
                 let mut exact = MultiRateNmpcController::new(model.clone(), settings);
                 exact.set_workload_estimate(work, memory);
@@ -96,9 +97,19 @@ impl ExplicitNmpcController {
     }
 
     /// Evaluates the explicit control law for a workload state.
-    pub fn evaluate(&self, platform: &GpuPlatform, work: f64, memory: f64, deadline_s: f64) -> GpuConfig {
+    pub fn evaluate(
+        &self,
+        platform: &GpuPlatform,
+        work: f64,
+        memory: f64,
+        deadline_s: f64,
+    ) -> GpuConfig {
         let f = Self::state_features(work, memory, deadline_s);
-        let freq = self.freq_regressor.predict(&f).round().clamp(0.0, (platform.level_count() - 1) as f64);
+        let freq = self
+            .freq_regressor
+            .predict(&f)
+            .round()
+            .clamp(0.0, (platform.level_count() - 1) as f64);
         let slices = self
             .slice_regressor
             .predict(&f)
@@ -223,7 +234,8 @@ mod tests {
         for demand in workload.frames().iter().step_by(9) {
             exact.set_workload_estimate(demand.work_cycles, demand.memory_accesses);
             let exact_cfg = exact.plan_for_test(&platform, deadline);
-            let approx_cfg = explicit.evaluate(&platform, demand.work_cycles, demand.memory_accesses, deadline);
+            let approx_cfg =
+                explicit.evaluate(&platform, demand.work_cycles, demand.memory_accesses, deadline);
             total += 1;
             if (exact_cfg.freq_idx as i64 - approx_cfg.freq_idx as i64).abs() <= 1
                 && exact_cfg.active_slices.abs_diff(approx_cfg.active_slices) <= 1

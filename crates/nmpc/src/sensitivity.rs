@@ -67,6 +67,9 @@ impl GpuSensitivityModel {
     }
 
     /// Updates both models from an executed frame.
+    // The argument list mirrors the raw per-frame telemetry tuple; bundling it
+    // into a struct would just move the same seven fields one level down.
+    #[allow(clippy::too_many_arguments)]
     pub fn observe(
         &mut self,
         platform: &GpuPlatform,
@@ -93,15 +96,18 @@ impl GpuSensitivityModel {
                 let mut sweep_sim = simulator.clone();
                 sweep_sim.reset();
                 let result = sweep_sim.render_frame(demand, config, deadline_s);
-                self.observe(
+                // Batch fit: no forgetting at design time, otherwise only the
+                // last ≈1/(1-λ) sweep points would survive into deployment
+                // (runtime observe() keeps the forgetting path for tracking).
+                let tf = Self::time_features(
                     &platform,
                     demand.work_cycles,
                     demand.memory_accesses,
                     config,
-                    result.frame_time_s,
-                    result.counters.utilization,
-                    result.counters.gpu_power_w,
                 );
+                self.time_model.update_retaining(&tf, result.frame_time_s);
+                let pf = Self::power_features(&platform, config, result.counters.utilization);
+                self.power_model.update_retaining(&pf, result.counters.gpu_power_w);
             }
         }
     }
@@ -170,7 +176,8 @@ mod tests {
             for config in [GpuConfig::new(1, 2), GpuConfig::new(2, 4), GpuConfig::new(3, 7)] {
                 let mut s = sim.clone();
                 s.reset();
-                let actual = s.render_frame(demand, config, workload.frame_deadline_s()).frame_time_s;
+                let actual =
+                    s.render_frame(demand, config, workload.frame_deadline_s()).frame_time_s;
                 let predicted = model.predict_frame_time_s(
                     &platform,
                     demand.work_cycles,
@@ -189,8 +196,18 @@ mod tests {
         let (model, sim, workload) = pretrained();
         let platform = sim.platform().clone();
         let demand = &workload.frames()[5];
-        let slow = model.predict_frame_time_s(&platform, demand.work_cycles, demand.memory_accesses, GpuConfig::new(1, 0));
-        let fast = model.predict_frame_time_s(&platform, demand.work_cycles, demand.memory_accesses, GpuConfig::new(3, 7));
+        let slow = model.predict_frame_time_s(
+            &platform,
+            demand.work_cycles,
+            demand.memory_accesses,
+            GpuConfig::new(1, 0),
+        );
+        let fast = model.predict_frame_time_s(
+            &platform,
+            demand.work_cycles,
+            demand.memory_accesses,
+            GpuConfig::new(3, 7),
+        );
         assert!(fast < slow);
     }
 

@@ -134,6 +134,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one training injection rate")]
     fn rejects_empty_training_set() {
-        let _ = SvrLatencyModel::train(MeshConfig::new(4, 4), TrafficPattern::Uniform, &[], 1000, 1);
+        let _ =
+            SvrLatencyModel::train(MeshConfig::new(4, 4), TrafficPattern::Uniform, &[], 1000, 1);
     }
 }

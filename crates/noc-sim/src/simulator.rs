@@ -136,12 +136,13 @@ impl NocSimulator {
                 if self.rng.gen_bool(0.2) {
                     (self.mesh.width - 1, self.mesh.height - 1)
                 } else {
-                    (self.rng.gen_range(0..self.mesh.width), self.rng.gen_range(0..self.mesh.height))
+                    (
+                        self.rng.gen_range(0..self.mesh.width),
+                        self.rng.gen_range(0..self.mesh.height),
+                    )
                 }
             }
-            TrafficPattern::Transpose => {
-                (src_y % self.mesh.width, src_x % self.mesh.height)
-            }
+            TrafficPattern::Transpose => (src_y % self.mesh.width, src_x % self.mesh.height),
         }
     }
 
@@ -221,11 +222,8 @@ impl NocSimulator {
         }
 
         let packets = latencies.len();
-        let avg_latency = if packets == 0 {
-            0.0
-        } else {
-            latencies.iter().sum::<f64>() / packets as f64
-        };
+        let avg_latency =
+            if packets == 0 { 0.0 } else { latencies.iter().sum::<f64>() / packets as f64 };
         let p95 = if packets == 0 {
             0.0
         } else {
@@ -303,7 +301,10 @@ mod tests {
         let s = small.run(0.02, 20_000);
         let l = large.run(0.02, 20_000);
         assert!(l.avg_hops > s.avg_hops);
-        assert!(MeshConfig::new(8, 8).average_hops_uniform() > MeshConfig::new(4, 4).average_hops_uniform());
+        assert!(
+            MeshConfig::new(8, 8).average_hops_uniform()
+                > MeshConfig::new(4, 4).average_hops_uniform()
+        );
     }
 
     #[test]

@@ -71,10 +71,10 @@ impl OnlineFeatureSelector {
         self.mean_y += dy / self.count;
         let dy2 = y - self.mean_y;
         self.m2_y += dy * dy2;
-        for i in 0..x.len() {
-            let dx = x[i] - self.mean_x[i];
+        for (i, &xi) in x.iter().enumerate() {
+            let dx = xi - self.mean_x[i];
             self.mean_x[i] += dx / self.count;
-            let dx2 = x[i] - self.mean_x[i];
+            let dx2 = xi - self.mean_x[i];
             self.m2_x[i] += dx * dx2;
             self.co_moment[i] += dx * dy2;
         }
@@ -106,7 +106,10 @@ impl OnlineFeatureSelector {
         let corr = self.correlations();
         let mut order: Vec<usize> = (0..self.dim()).collect();
         order.sort_by(|&a, &b| {
-            corr[b].partial_cmp(&corr[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            corr[b]
+                .partial_cmp(&corr[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         let mut top: Vec<usize> = order.into_iter().take(self.k).collect();
         top.sort_unstable();

@@ -75,11 +75,7 @@ impl Regressor for KernelRidgeRegression {
 
     fn predict(&self, x: &[f64]) -> f64 {
         assert!(self.fitted, "predict called before fit");
-        self.support
-            .iter()
-            .zip(&self.alphas)
-            .map(|(s, a)| a * self.kernel(s, x))
-            .sum()
+        self.support.iter().zip(&self.alphas).map(|(s, a)| a * self.kernel(s, x)).sum()
     }
 }
 
@@ -121,7 +117,8 @@ mod tests {
         let smooth = KernelRidgeRegression::fitted(&xs, &ys, 5.0, 50.0);
         let range = |m: &KernelRidgeRegression| {
             let preds: Vec<f64> = xs.iter().map(|x| m.predict(x)).collect();
-            preds.iter().cloned().fold(f64::MIN, f64::max) - preds.iter().cloned().fold(f64::MAX, f64::min)
+            preds.iter().cloned().fold(f64::MIN, f64::max)
+                - preds.iter().cloned().fold(f64::MAX, f64::min)
         };
         assert!(range(&smooth) < range(&wiggly));
     }

@@ -8,6 +8,9 @@
 ///
 /// Returns `None` when `A` is singular to working precision or dimensions are
 /// inconsistent.
+// Row elimination reads one row while mutating another, which iterator form
+// can only express through split_at_mut contortions; index loops stay.
+#[allow(clippy::needless_range_loop)]
 pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     let n = a.len();
     if n == 0 || b.len() != n || a.iter().any(|row| row.len() != n) {

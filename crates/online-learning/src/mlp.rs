@@ -386,8 +386,8 @@ mod tests {
 
     #[test]
     fn learns_xor_classification() {
-        let xs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
-        let labels = vec![0usize, 1, 1, 0];
+        let xs = [vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let labels = [0usize, 1, 1, 0];
         // XOR training can land in a bad basin for an unlucky initialisation; the
         // test requires that at least one of a few fixed seeds learns it exactly,
         // which is how the policy crates use the network (they pick a fixed seed
@@ -425,13 +425,10 @@ mod tests {
             xs.push(vec![1.0 + offset, -1.0 - offset]);
             labels.push(2usize);
         }
-        let mut net = MlpBuilder::new(2, 3).hidden_layers(&[12]).learning_rate(0.05).seed(5).build();
+        let mut net =
+            MlpBuilder::new(2, 3).hidden_layers(&[12]).learning_rate(0.05).seed(5).build();
         net.fit(&xs, &labels);
-        let correct = xs
-            .iter()
-            .zip(&labels)
-            .filter(|(x, &l)| net.predict_class(x) == l)
-            .count();
+        let correct = xs.iter().zip(&labels).filter(|(x, &l)| net.predict_class(x) == l).count();
         assert!(correct as f64 / xs.len() as f64 > 0.95, "accuracy {}/{}", correct, xs.len());
         assert_eq!(net.class_count(), 3);
     }

@@ -67,6 +67,19 @@ impl RecursiveLeastSquares {
         self.samples = 0;
     }
 
+    /// One RLS update that does not discount past data (`λ = 1`), regardless of
+    /// the configured forgetting factor.
+    ///
+    /// Design-time bootstrapping feeds the estimator thousands of samples; with
+    /// the runtime forgetting factor applied, everything but the last
+    /// `≈ 1/(1-λ)` of them would be washed out and the "pretrained" model would
+    /// describe only the final profile it saw. Batch-fitting with `λ = 1` keeps
+    /// every sample; runtime updates via [`OnlineRegressor::update`] then apply
+    /// the configured factor for tracking.
+    pub fn update_retaining(&mut self, x: &[f64], y: f64) {
+        let _ = self.update_with_lambda(x, y, 1.0);
+    }
+
     /// One RLS update with an explicit forgetting factor (used by the adaptive
     /// variant); returns the a-priori prediction error.
     fn update_with_lambda(&mut self, x: &[f64], y: f64, lambda: f64) -> f64 {
@@ -82,10 +95,11 @@ impl RecursiveLeastSquares {
             *w += g * error;
         }
         // P = (P - gain * x^T * P) / lambda
-        let xt_p: Vec<f64> = (0..dim).map(|j| (0..dim).map(|i| x[i] * self.p[i][j]).sum()).collect();
-        for i in 0..dim {
-            for j in 0..dim {
-                self.p[i][j] = (self.p[i][j] - gain[i] * xt_p[j]) / lambda;
+        let xt_p: Vec<f64> =
+            (0..dim).map(|j| (0..dim).map(|i| x[i] * self.p[i][j]).sum()).collect();
+        for (p_row, g) in self.p.iter_mut().zip(&gain) {
+            for (p_entry, xp) in p_row.iter_mut().zip(&xt_p) {
+                *p_entry = (*p_entry - g * xp) / lambda;
             }
         }
         self.samples += 1;
@@ -176,9 +190,9 @@ impl OnlineRegressor for AdaptiveForgettingRls {
         self.target_ema = (1.0 - self.ema_alpha) * self.target_ema + self.ema_alpha * y * y;
         let normalised = (self.error_ema / self.target_ema.max(1e-12)).min(1.0);
         // Large normalised error -> forget faster (smaller lambda).
-        self.current_lambda =
-            (self.lambda_max - (self.lambda_max - self.lambda_min) * normalised.sqrt())
-                .clamp(self.lambda_min, self.lambda_max);
+        self.current_lambda = (self.lambda_max
+            - (self.lambda_max - self.lambda_min) * normalised.sqrt())
+        .clamp(self.lambda_min, self.lambda_max);
         let lambda = self.current_lambda;
         let _ = self.inner.update_with_lambda(x, y, lambda);
     }

@@ -59,10 +59,10 @@ impl StandardScaler {
     pub fn observe(&mut self, x: &[f64]) {
         assert_eq!(x.len(), self.dim(), "feature dimension mismatch");
         self.count += 1.0;
-        for i in 0..x.len() {
-            let delta = x[i] - self.mean[i];
+        for (i, &xi) in x.iter().enumerate() {
+            let delta = xi - self.mean[i];
             self.mean[i] += delta / self.count;
-            self.m2[i] += delta * (x[i] - self.mean[i]);
+            self.m2[i] += delta * (xi - self.mean[i]);
         }
     }
 
@@ -116,11 +116,13 @@ mod tests {
 
     #[test]
     fn standardises_to_zero_mean_unit_variance() {
-        let samples: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 1000.0 + 2.0 * i as f64]).collect();
+        let samples: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![i as f64, 1000.0 + 2.0 * i as f64]).collect();
         let scaler = StandardScaler::fitted(&samples);
         let transformed: Vec<Vec<f64>> = samples.iter().map(|s| scaler.transform(s)).collect();
         for d in 0..2 {
-            let mean: f64 = transformed.iter().map(|t| t[d]).sum::<f64>() / transformed.len() as f64;
+            let mean: f64 =
+                transformed.iter().map(|t| t[d]).sum::<f64>() / transformed.len() as f64;
             let var: f64 = transformed.iter().map(|t| (t[d] - mean).powi(2)).sum::<f64>()
                 / (transformed.len() - 1) as f64;
             assert!(mean.abs() < 1e-9);

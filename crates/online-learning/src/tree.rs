@@ -110,6 +110,9 @@ impl RegressionTree {
         self.root.as_ref().map_or(0, Node::leaves)
     }
 
+    // `feature` is a column index into the row-major sample matrix; there is
+    // no column iterator to replace it with.
+    #[allow(clippy::needless_range_loop)]
     fn build(&self, xs: &[Vec<f64>], ys: &[f64], indices: &[usize], depth: usize) -> Node {
         let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len() as f64;
         if depth >= self.config.max_depth || indices.len() < self.config.min_samples_split {
@@ -223,6 +226,9 @@ impl DecisionTreeClassifier {
         1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
     }
 
+    // `feature` is a column index into the row-major sample matrix; there is
+    // no column iterator to replace it with.
+    #[allow(clippy::needless_range_loop)]
     fn build(&self, xs: &[Vec<f64>], labels: &[usize], indices: &[usize], depth: usize) -> Node {
         let counts = self.class_counts(labels, indices);
         let node_gini = Self::gini(&counts);
@@ -321,8 +327,10 @@ mod tests {
     fn regression_tree_respects_depth_limit() {
         let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0].sin()).collect();
-        let shallow = RegressionTree::fitted(&xs, &ys, TreeConfig { max_depth: 2, min_samples_split: 2 });
-        let deep = RegressionTree::fitted(&xs, &ys, TreeConfig { max_depth: 8, min_samples_split: 2 });
+        let shallow =
+            RegressionTree::fitted(&xs, &ys, TreeConfig { max_depth: 2, min_samples_split: 2 });
+        let deep =
+            RegressionTree::fitted(&xs, &ys, TreeConfig { max_depth: 8, min_samples_split: 2 });
         assert!(shallow.depth() <= 2);
         assert!(deep.leaf_count() > shallow.leaf_count());
     }
@@ -345,8 +353,7 @@ mod tests {
             }
         }
         let tree = DecisionTreeClassifier::fitted(&xs, &labels, 4, TreeConfig::default());
-        let correct =
-            xs.iter().zip(&labels).filter(|(x, &l)| tree.predict_class(x) == l).count();
+        let correct = xs.iter().zip(&labels).filter(|(x, &l)| tree.predict_class(x) == l).count();
         assert!(correct as f64 / xs.len() as f64 > 0.98);
         assert_eq!(tree.class_count(), 4);
         assert!(tree.leaf_count() >= 4);

@@ -92,7 +92,9 @@ impl OracleSearch {
             let execution = sim.evaluate_snippet(profile, config);
             let better = match &best {
                 None => true,
-                Some((_, current)) => self.objective.score(&execution) < self.objective.score(current),
+                Some((_, current)) => {
+                    self.objective.score(&execution) < self.objective.score(current)
+                }
             };
             if better {
                 best = Some((config, execution));
@@ -120,7 +122,9 @@ impl OracleSearch {
             let execution = sim.evaluate_snippet(profile, config);
             let better = match &best {
                 None => true,
-                Some((_, current)) => self.objective.score(&execution) < self.objective.score(current),
+                Some((_, current)) => {
+                    self.objective.score(&execution) < self.objective.score(current)
+                }
             };
             if better {
                 best = Some((config, execution));
@@ -284,8 +288,9 @@ mod tests {
         let sim = small_sim();
         let memory = SnippetProfile::memory_bound(100_000_000);
         let energy_best = OracleSearch::new(OracleObjective::Energy).best_config(&sim, &memory).0;
-        let edp_best =
-            OracleSearch::new(OracleObjective::EnergyDelayProduct).best_config(&sim, &memory).0;
+        let edp_best = OracleSearch::new(OracleObjective::EnergyDelayProduct)
+            .best_config(&sim, &memory)
+            .0;
         // EDP weights delay, so it must never pick a lower big frequency than the
         // pure-energy objective for the same snippet.
         assert!(edp_best.big_idx >= energy_best.big_idx);
@@ -308,7 +313,9 @@ mod tests {
         let profiles: Vec<_> = suite.benchmarks()[0].snippets().to_vec();
         let demos = collect_demonstrations(&mut sim, &profiles, OracleObjective::Energy);
         assert_eq!(demos.len(), profiles.len() - 1);
-        assert!(demos.iter().all(|d| d.features.len() == SnippetCounters::NORMALIZED_FEATURE_DIM));
+        assert!(demos
+            .iter()
+            .all(|d| d.features.len() == SnippetCounters::NORMALIZED_FEATURE_DIM));
         assert!(demos.iter().all(|d| SocPlatform::small().is_valid(d.action)));
     }
 
@@ -324,7 +331,8 @@ mod tests {
         let mut policy = OraclePolicy::from_run(&run, platform.min_config());
         let counters = SnippetCounters::default();
         for (i, expected) in run.decisions.iter().enumerate() {
-            let got = policy.decide(&platform, PolicyDecision::new(&counters, platform.min_config(), i));
+            let got =
+                policy.decide(&platform, PolicyDecision::new(&counters, platform.min_config(), i));
             assert_eq!(got, *expected);
         }
         // Out-of-range index falls back.

@@ -40,7 +40,10 @@ impl std::fmt::Display for FixedPointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FixedPointError::ThermalRunaway { reached_c } => {
-                write!(f, "thermal runaway: temperature exceeded {reached_c:.1} °C without settling")
+                write!(
+                    f,
+                    "thermal runaway: temperature exceeded {reached_c:.1} °C without settling"
+                )
             }
             FixedPointError::NotConverged { residual } => {
                 write!(f, "fixed-point iteration did not converge (residual {residual:.3} °C)")
@@ -108,11 +111,7 @@ impl FixedPointAnalysis {
             iterations += 1;
             let power = power_of_temperature(&temps);
             let next = model.steady_state(&power).ok_or(FixedPointError::DegenerateNetwork)?;
-            residual = next
-                .iter()
-                .zip(&temps)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            residual = next.iter().zip(&temps).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             temps = next;
             if temps.iter().any(|&t| t > runaway_limit_c) {
                 return Err(FixedPointError::ThermalRunaway { reached_c: runaway_limit_c });
@@ -210,7 +209,10 @@ mod tests {
             temps.iter().map(|&t| 5.0 * (1.0 + 0.4 * (t - 25.0).max(0.0))).collect()
         };
         let err = FixedPointAnalysis::compute(&model, power_fn, 130.0).unwrap_err();
-        assert!(matches!(err, FixedPointError::ThermalRunaway { .. } | FixedPointError::NotConverged { .. }));
+        assert!(matches!(
+            err,
+            FixedPointError::ThermalRunaway { .. } | FixedPointError::NotConverged { .. }
+        ));
     }
 
     #[test]

@@ -7,17 +7,23 @@
 /// Solves `A x = b` for square `A` using Gaussian elimination with partial pivoting.
 ///
 /// Returns `None` if the matrix is singular (to working precision).
+// Row elimination reads one row while mutating another, which iterator form
+// can only express through split_at_mut contortions; index loops stay.
+#[allow(clippy::needless_range_loop)]
 pub(crate) fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     let n = a.len();
     if n == 0 || b.len() != n || a.iter().any(|row| row.len() != n) {
         return None;
     }
-    let mut m: Vec<Vec<f64>> = a.iter().cloned().collect();
+    let mut m: Vec<Vec<f64>> = a.to_vec();
     let mut rhs = b.to_vec();
     for col in 0..n {
         // Partial pivot.
         let pivot_row = (col..n).max_by(|&i, &j| {
-            m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
         })?;
         if m[pivot_row][col].abs() < 1e-12 {
             return None;

@@ -59,7 +59,12 @@ impl RcThermalModel {
     ///
     /// Panics if the coupling matrix is not `n×n`, if the time step is not
     /// positive, or if `nodes` is empty.
-    pub fn new(nodes: Vec<ThermalNode>, coupling: Vec<Vec<f64>>, ambient_c: f64, step_s: f64) -> Self {
+    pub fn new(
+        nodes: Vec<ThermalNode>,
+        coupling: Vec<Vec<f64>>,
+        ambient_c: f64,
+        step_s: f64,
+    ) -> Self {
         let n = nodes.len();
         assert!(n > 0, "thermal model needs at least one node");
         assert!(step_s > 0.0, "time step must be positive");
@@ -126,6 +131,9 @@ impl RcThermalModel {
     }
 
     /// The discrete state matrix `A` (temperature-to-temperature map over one step).
+    // The i≠j cross-coupling structure reads most clearly with explicit
+    // matrix indices.
+    #[allow(clippy::needless_range_loop)]
     pub fn state_matrix(&self) -> Vec<Vec<f64>> {
         let n = self.node_count();
         let mut a = vec![vec![0.0; n]; n];
@@ -166,10 +174,8 @@ impl RcThermalModel {
         let n = self.node_count();
         let mut next = vec![0.0; n];
         for i in 0..n {
-            let mut t = 0.0;
-            for j in 0..n {
-                t += a[i][j] * self.temperatures[j];
-            }
+            let mut t: f64 =
+                a[i].iter().zip(&self.temperatures).map(|(aij, temp)| aij * temp).sum();
             let total_g: f64 = self.nodes[i].conductance_to_ambient;
             t += self.step_s / self.nodes[i].capacitance * (power_w[i] + total_g * self.ambient_c);
             // Coupled terms already reference the other nodes' temperatures; what is
@@ -185,10 +191,12 @@ impl RcThermalModel {
     /// Simulates `steps` steps under constant power and returns the trajectory of
     /// the hottest node at every step.
     pub fn simulate_constant_power(&mut self, power_w: &[f64], steps: usize) -> Vec<f64> {
-        (0..steps).map(|_| {
-            self.step(power_w);
-            self.temperatures.iter().cloned().fold(f64::MIN, f64::max)
-        }).collect()
+        (0..steps)
+            .map(|_| {
+                self.step(power_w);
+                self.temperatures.iter().cloned().fold(f64::MIN, f64::max)
+            })
+            .collect()
     }
 
     /// Predicts the temperature vector `horizon` steps ahead under constant power
@@ -206,6 +214,9 @@ impl RcThermalModel {
     /// fixed point `T* = A·T* + B·P + (I-A)·T_amb`, solved exactly.
     ///
     /// Returns `None` if the network is degenerate (singular `I - A`).
+    // The i≠j cross-coupling structure reads most clearly with explicit
+    // matrix indices.
+    #[allow(clippy::needless_range_loop)]
     pub fn steady_state(&self, power_w: &[f64]) -> Option<Vec<f64>> {
         assert_eq!(power_w.len(), self.node_count(), "one power entry per node required");
         // Solve G_total · (T - T_amb·1) = P  in the continuous domain:

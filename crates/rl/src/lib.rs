@@ -59,8 +59,13 @@ impl Default for RlConfig {
 }
 
 /// Discretises the counter state into a small index usable by the Q-table.
-fn discretise_state(platform: &SocPlatform, counters: &SnippetCounters, current: DvfsConfig) -> usize {
-    let util_bin = ((counters.big_cluster_utilization * STATE_BINS as f64) as usize).min(STATE_BINS - 1);
+fn discretise_state(
+    platform: &SocPlatform,
+    counters: &SnippetCounters,
+    current: DvfsConfig,
+) -> usize {
+    let util_bin =
+        ((counters.big_cluster_utilization * STATE_BINS as f64) as usize).min(STATE_BINS - 1);
     let kilo_instructions = (counters.instructions_retired / 1000.0).max(1e-9);
     let ext_pki = counters.external_memory_requests / kilo_instructions;
     // Memory intensity bins at roughly 2, 5 and 9 external requests per kilo-instruction.
@@ -189,14 +194,12 @@ pub struct DqnAgent {
 impl DqnAgent {
     /// Creates an agent for the given platform.
     pub fn new(platform: &SocPlatform, config: RlConfig) -> Self {
-        let network = MlpBuilder::new(
-            SnippetCounters::NORMALIZED_FEATURE_DIM + 2,
-            platform.config_count(),
-        )
-        .hidden_layers(&[32])
-        .learning_rate(config.learning_rate * 0.1)
-        .seed(config.seed)
-        .build();
+        let network =
+            MlpBuilder::new(SnippetCounters::NORMALIZED_FEATURE_DIM + 2, platform.config_count())
+                .hidden_layers(&[32])
+                .learning_rate(config.learning_rate * 0.1)
+                .seed(config.seed)
+                .build();
         Self {
             network,
             epsilon: config.epsilon_start,
@@ -209,10 +212,20 @@ impl DqnAgent {
         }
     }
 
-    fn features(platform: &SocPlatform, counters: &SnippetCounters, current: DvfsConfig) -> Vec<f64> {
+    fn features(
+        platform: &SocPlatform,
+        counters: &SnippetCounters,
+        current: DvfsConfig,
+    ) -> Vec<f64> {
         let mut f = counters.normalized_features();
-        f.push(current.little_idx as f64 / platform.level_count(soclearn_soc_sim::ClusterKind::Little) as f64);
-        f.push(current.big_idx as f64 / platform.level_count(soclearn_soc_sim::ClusterKind::Big) as f64);
+        f.push(
+            current.little_idx as f64
+                / platform.level_count(soclearn_soc_sim::ClusterKind::Little) as f64,
+        );
+        f.push(
+            current.big_idx as f64
+                / platform.level_count(soclearn_soc_sim::ClusterKind::Big) as f64,
+        );
         f
     }
 
@@ -333,8 +346,11 @@ mod tests {
         let profiles: Vec<_> =
             suite.benchmarks().iter().flat_map(|b| b.snippets().iter().cloned()).collect();
         let mut oracle_sim = SocSimulator::new(platform.clone());
-        let oracle =
-            soclearn_oracle::OracleRun::execute(&mut oracle_sim, &profiles, soclearn_oracle::OracleObjective::Energy);
+        let oracle = soclearn_oracle::OracleRun::execute(
+            &mut oracle_sim,
+            &profiles,
+            soclearn_oracle::OracleObjective::Energy,
+        );
 
         let mut agent = QTableAgent::new(&platform, RlConfig::default());
         let mut sim = SocSimulator::new(platform.clone());

@@ -125,7 +125,10 @@ mod tests {
         let b = doubled.normalized_features();
         assert_eq!(a.len(), SnippetCounters::NORMALIZED_FEATURE_DIM);
         for (x, y) in a.iter().zip(&b) {
-            assert!((x - y).abs() < 1e-9, "normalised features should not depend on snippet length");
+            assert!(
+                (x - y).abs() < 1e-9,
+                "normalised features should not depend on snippet length"
+            );
         }
     }
 

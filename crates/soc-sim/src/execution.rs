@@ -125,7 +125,11 @@ impl SocSimulator {
     /// # Panics
     ///
     /// Panics if the configuration is invalid for the platform.
-    pub fn evaluate_snippet(&self, profile: &SnippetProfile, config: DvfsConfig) -> SnippetExecution {
+    pub fn evaluate_snippet(
+        &self,
+        profile: &SnippetProfile,
+        config: DvfsConfig,
+    ) -> SnippetExecution {
         assert!(self.platform.is_valid(config), "invalid DVFS configuration {config}");
         let f_big = self.platform.frequency(ClusterKind::Big, config);
         let f_little = self.platform.frequency(ClusterKind::Little, config);
@@ -229,7 +233,11 @@ impl SocSimulator {
     /// # Panics
     ///
     /// Panics if the configuration is invalid for the platform.
-    pub fn execute_snippet(&mut self, profile: &SnippetProfile, config: DvfsConfig) -> SnippetExecution {
+    pub fn execute_snippet(
+        &mut self,
+        profile: &SnippetProfile,
+        config: DvfsConfig,
+    ) -> SnippetExecution {
         let execution = self.evaluate_snippet(profile, config);
         let powers = self.cluster_powers(&execution);
         let steps = (execution.time_s / self.thermal.step_s()).ceil().min(10_000.0) as usize;

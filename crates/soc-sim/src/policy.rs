@@ -41,7 +41,11 @@ pub trait DvfsPolicy {
 
 impl<'a> PolicyDecision<'a> {
     /// Convenience constructor.
-    pub fn new(counters: &'a SnippetCounters, current_config: DvfsConfig, snippet_index: usize) -> Self {
+    pub fn new(
+        counters: &'a SnippetCounters,
+        current_config: DvfsConfig,
+        snippet_index: usize,
+    ) -> Self {
         Self { counters, current_config, snippet_index }
     }
 }
@@ -85,7 +89,8 @@ mod tests {
     #[test]
     fn trait_is_object_safe_and_fixed_policy_works() {
         let platform = SocPlatform::odroid_xu3();
-        let mut policy: Box<dyn DvfsPolicy> = Box::new(FixedConfigPolicy::new(DvfsConfig::new(1, 2)));
+        let mut policy: Box<dyn DvfsPolicy> =
+            Box::new(FixedConfigPolicy::new(DvfsConfig::new(1, 2)));
         let counters = SnippetCounters::default();
         let decision = PolicyDecision::new(&counters, platform.min_config(), 0);
         assert_eq!(policy.decide(&platform, decision), DvfsConfig::new(1, 2));

@@ -123,7 +123,9 @@ impl GraphicsWorkload {
         Self::figure5_specs()
             .iter()
             .enumerate()
-            .map(|(i, spec)| Self::synthesize(spec, frames_per_workload, seed.wrapping_add(i as u64)))
+            .map(|(i, spec)| {
+                Self::synthesize(spec, frames_per_workload, seed.wrapping_add(i as u64))
+            })
             .collect()
     }
 
@@ -160,16 +162,106 @@ impl GraphicsWorkload {
 
     fn figure5_specs() -> Vec<GraphicsSpec> {
         vec![
-            GraphicsSpec { name: "3DMarkIceStorm", fps_target: 30.0, mean_gcycles: 4.2, drift: 0.20, noise: 0.06, burst_prob: 0.03, parallel_fraction: 0.92, mem_per_cycle: 0.020 },
-            GraphicsSpec { name: "AngryBirds", fps_target: 60.0, mean_gcycles: 1.9, drift: 0.06, noise: 0.03, burst_prob: 0.01, parallel_fraction: 0.80, mem_per_cycle: 0.012 },
-            GraphicsSpec { name: "AngryBots", fps_target: 30.0, mean_gcycles: 3.0, drift: 0.18, noise: 0.06, burst_prob: 0.03, parallel_fraction: 0.85, mem_per_cycle: 0.016 },
-            GraphicsSpec { name: "EpicCitadel", fps_target: 30.0, mean_gcycles: 3.4, drift: 0.22, noise: 0.07, burst_prob: 0.04, parallel_fraction: 0.90, mem_per_cycle: 0.018 },
-            GraphicsSpec { name: "FruitNinja", fps_target: 60.0, mean_gcycles: 1.2, drift: 0.15, noise: 0.05, burst_prob: 0.02, parallel_fraction: 0.82, mem_per_cycle: 0.012 },
-            GraphicsSpec { name: "GFXBench-trex", fps_target: 30.0, mean_gcycles: 4.5, drift: 0.15, noise: 0.05, burst_prob: 0.02, parallel_fraction: 0.93, mem_per_cycle: 0.022 },
-            GraphicsSpec { name: "JungleRun", fps_target: 60.0, mean_gcycles: 1.4, drift: 0.25, noise: 0.06, burst_prob: 0.03, parallel_fraction: 0.86, mem_per_cycle: 0.014 },
-            GraphicsSpec { name: "SharkDash", fps_target: 60.0, mean_gcycles: 0.7, drift: 0.30, noise: 0.05, burst_prob: 0.02, parallel_fraction: 0.84, mem_per_cycle: 0.010 },
-            GraphicsSpec { name: "TheChase", fps_target: 30.0, mean_gcycles: 3.8, drift: 0.20, noise: 0.06, burst_prob: 0.03, parallel_fraction: 0.91, mem_per_cycle: 0.020 },
-            GraphicsSpec { name: "VendettaMark", fps_target: 30.0, mean_gcycles: 2.8, drift: 0.28, noise: 0.07, burst_prob: 0.04, parallel_fraction: 0.88, mem_per_cycle: 0.017 },
+            GraphicsSpec {
+                name: "3DMarkIceStorm",
+                fps_target: 30.0,
+                mean_gcycles: 4.2,
+                drift: 0.20,
+                noise: 0.06,
+                burst_prob: 0.03,
+                parallel_fraction: 0.92,
+                mem_per_cycle: 0.020,
+            },
+            GraphicsSpec {
+                name: "AngryBirds",
+                fps_target: 60.0,
+                mean_gcycles: 1.9,
+                drift: 0.06,
+                noise: 0.03,
+                burst_prob: 0.01,
+                parallel_fraction: 0.80,
+                mem_per_cycle: 0.012,
+            },
+            GraphicsSpec {
+                name: "AngryBots",
+                fps_target: 30.0,
+                mean_gcycles: 3.0,
+                drift: 0.18,
+                noise: 0.06,
+                burst_prob: 0.03,
+                parallel_fraction: 0.85,
+                mem_per_cycle: 0.016,
+            },
+            GraphicsSpec {
+                name: "EpicCitadel",
+                fps_target: 30.0,
+                mean_gcycles: 3.4,
+                drift: 0.22,
+                noise: 0.07,
+                burst_prob: 0.04,
+                parallel_fraction: 0.90,
+                mem_per_cycle: 0.018,
+            },
+            GraphicsSpec {
+                name: "FruitNinja",
+                fps_target: 60.0,
+                mean_gcycles: 1.2,
+                drift: 0.15,
+                noise: 0.05,
+                burst_prob: 0.02,
+                parallel_fraction: 0.82,
+                mem_per_cycle: 0.012,
+            },
+            GraphicsSpec {
+                name: "GFXBench-trex",
+                fps_target: 30.0,
+                mean_gcycles: 4.5,
+                drift: 0.15,
+                noise: 0.05,
+                burst_prob: 0.02,
+                parallel_fraction: 0.93,
+                mem_per_cycle: 0.022,
+            },
+            GraphicsSpec {
+                name: "JungleRun",
+                fps_target: 60.0,
+                mean_gcycles: 1.4,
+                drift: 0.25,
+                noise: 0.06,
+                burst_prob: 0.03,
+                parallel_fraction: 0.86,
+                mem_per_cycle: 0.014,
+            },
+            GraphicsSpec {
+                name: "SharkDash",
+                fps_target: 60.0,
+                mean_gcycles: 0.7,
+                drift: 0.30,
+                noise: 0.05,
+                burst_prob: 0.02,
+                parallel_fraction: 0.84,
+                mem_per_cycle: 0.010,
+            },
+            GraphicsSpec {
+                name: "TheChase",
+                fps_target: 30.0,
+                mean_gcycles: 3.8,
+                drift: 0.20,
+                noise: 0.06,
+                burst_prob: 0.03,
+                parallel_fraction: 0.91,
+                mem_per_cycle: 0.020,
+            },
+            GraphicsSpec {
+                name: "VendettaMark",
+                fps_target: 30.0,
+                mean_gcycles: 2.8,
+                drift: 0.28,
+                noise: 0.07,
+                burst_prob: 0.04,
+                parallel_fraction: 0.88,
+                mem_per_cycle: 0.017,
+            },
         ]
     }
 }

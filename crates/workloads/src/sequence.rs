@@ -101,11 +101,11 @@ mod tests {
         let seq = ApplicationSequence::from_benchmarks(
             cortex.benchmarks().iter().chain(parsec.benchmarks().iter()),
         );
-        assert_eq!(seq.benchmark_names().len(), cortex.benchmarks().len() + parsec.benchmarks().len());
         assert_eq!(
-            seq.len(),
-            cortex.iter_snippets().count() + parsec.iter_snippets().count()
+            seq.benchmark_names().len(),
+            cortex.benchmarks().len() + parsec.benchmarks().len()
         );
+        assert_eq!(seq.len(), cortex.iter_snippets().count() + parsec.iter_snippets().count());
         // Indices are consecutive.
         for (i, s) in seq.snippets().iter().enumerate() {
             assert_eq!(s.index, i);

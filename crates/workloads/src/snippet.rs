@@ -27,12 +27,8 @@ pub enum SnippetPhase {
 
 impl SnippetPhase {
     /// All phases, useful for iteration in tests and generators.
-    pub const ALL: [SnippetPhase; 4] = [
-        SnippetPhase::Compute,
-        SnippetPhase::Memory,
-        SnippetPhase::Branchy,
-        SnippetPhase::Mixed,
-    ];
+    pub const ALL: [SnippetPhase; 4] =
+        [SnippetPhase::Compute, SnippetPhase::Memory, SnippetPhase::Branchy, SnippetPhase::Mixed];
 }
 
 /// Intrinsic, hardware-independent description of one snippet.
@@ -193,7 +189,9 @@ mod tests {
         let large = SnippetProfile::memory_bound(10_000_000);
         assert!((large.l2_misses() / small.l2_misses() - 10.0).abs() < 1e-9);
         assert!((large.data_memory_accesses() / small.data_memory_accesses() - 10.0).abs() < 1e-9);
-        assert!((large.branch_mispredictions() / small.branch_mispredictions() - 10.0).abs() < 1e-9);
+        assert!(
+            (large.branch_mispredictions() / small.branch_mispredictions() - 10.0).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -138,10 +138,8 @@ impl BenchmarkSuite {
             SuiteKind::Parsec => Self::parsec_specs(),
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (kind as u64).wrapping_mul(0x9E37_79B9));
-        let benchmarks = specs
-            .iter()
-            .map(|spec| Self::generate_app(kind, spec, &mut rng))
-            .collect();
+        let benchmarks =
+            specs.iter().map(|spec| Self::generate_app(kind, spec, &mut rng)).collect();
         Self { kind, benchmarks }
     }
 
@@ -185,9 +183,17 @@ impl BenchmarkSuite {
                     jitter(rng, (spec.mem_access * 1.5).min(0.6), 0.2),
                 )
             } else if spec.branch_pki > 6.0 && rng.gen_bool(0.3) {
-                (SnippetPhase::Branchy, jitter(rng, spec.l2_mpki, 0.3), jitter(rng, spec.mem_access, 0.2))
+                (
+                    SnippetPhase::Branchy,
+                    jitter(rng, spec.l2_mpki, 0.3),
+                    jitter(rng, spec.mem_access, 0.2),
+                )
             } else {
-                (SnippetPhase::Compute, jitter(rng, spec.l2_mpki, 0.3), jitter(rng, spec.mem_access, 0.2))
+                (
+                    SnippetPhase::Compute,
+                    jitter(rng, spec.l2_mpki, 0.3),
+                    jitter(rng, spec.mem_access, 0.2),
+                )
             };
             let external = match kind {
                 SuiteKind::MiBench => rng.gen_range(0.2..0.45),
@@ -212,32 +218,208 @@ impl BenchmarkSuite {
     fn mibench_specs() -> Vec<AppSpec> {
         // Names follow Figure 4's offline (training) set.
         vec![
-            AppSpec { name: "BML", snippets: 24, memory_phase_prob: 0.10, mem_access: 0.16, l2_mpki: 0.6, memory_phase_mpki_mult: 6.0, branch_pki: 2.0, ilp: 2.1, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "Dijkstra", snippets: 22, memory_phase_prob: 0.20, mem_access: 0.24, l2_mpki: 1.8, memory_phase_mpki_mult: 5.0, branch_pki: 4.5, ilp: 1.6, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "FFT", snippets: 26, memory_phase_prob: 0.15, mem_access: 0.20, l2_mpki: 1.2, memory_phase_mpki_mult: 5.0, branch_pki: 1.2, ilp: 2.4, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "Patricia", snippets: 20, memory_phase_prob: 0.25, mem_access: 0.27, l2_mpki: 2.2, memory_phase_mpki_mult: 4.0, branch_pki: 6.5, ilp: 1.4, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "Qsort", snippets: 20, memory_phase_prob: 0.18, mem_access: 0.25, l2_mpki: 1.6, memory_phase_mpki_mult: 4.5, branch_pki: 7.5, ilp: 1.5, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "SHA", snippets: 18, memory_phase_prob: 0.08, mem_access: 0.14, l2_mpki: 0.4, memory_phase_mpki_mult: 6.0, branch_pki: 1.0, ilp: 2.3, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "Blowfish", snippets: 20, memory_phase_prob: 0.08, mem_access: 0.15, l2_mpki: 0.5, memory_phase_mpki_mult: 6.0, branch_pki: 1.4, ilp: 2.2, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "StringSearch", snippets: 16, memory_phase_prob: 0.15, mem_access: 0.22, l2_mpki: 1.0, memory_phase_mpki_mult: 5.0, branch_pki: 8.0, ilp: 1.5, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "ADPCM", snippets: 18, memory_phase_prob: 0.07, mem_access: 0.13, l2_mpki: 0.3, memory_phase_mpki_mult: 6.0, branch_pki: 1.1, ilp: 2.5, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "AES", snippets: 18, memory_phase_prob: 0.09, mem_access: 0.16, l2_mpki: 0.5, memory_phase_mpki_mult: 6.0, branch_pki: 0.9, ilp: 2.6, threads: 1, parallel_fraction: 0.0 },
+            AppSpec {
+                name: "BML",
+                snippets: 24,
+                memory_phase_prob: 0.10,
+                mem_access: 0.16,
+                l2_mpki: 0.6,
+                memory_phase_mpki_mult: 6.0,
+                branch_pki: 2.0,
+                ilp: 2.1,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "Dijkstra",
+                snippets: 22,
+                memory_phase_prob: 0.20,
+                mem_access: 0.24,
+                l2_mpki: 1.8,
+                memory_phase_mpki_mult: 5.0,
+                branch_pki: 4.5,
+                ilp: 1.6,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "FFT",
+                snippets: 26,
+                memory_phase_prob: 0.15,
+                mem_access: 0.20,
+                l2_mpki: 1.2,
+                memory_phase_mpki_mult: 5.0,
+                branch_pki: 1.2,
+                ilp: 2.4,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "Patricia",
+                snippets: 20,
+                memory_phase_prob: 0.25,
+                mem_access: 0.27,
+                l2_mpki: 2.2,
+                memory_phase_mpki_mult: 4.0,
+                branch_pki: 6.5,
+                ilp: 1.4,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "Qsort",
+                snippets: 20,
+                memory_phase_prob: 0.18,
+                mem_access: 0.25,
+                l2_mpki: 1.6,
+                memory_phase_mpki_mult: 4.5,
+                branch_pki: 7.5,
+                ilp: 1.5,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "SHA",
+                snippets: 18,
+                memory_phase_prob: 0.08,
+                mem_access: 0.14,
+                l2_mpki: 0.4,
+                memory_phase_mpki_mult: 6.0,
+                branch_pki: 1.0,
+                ilp: 2.3,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "Blowfish",
+                snippets: 20,
+                memory_phase_prob: 0.08,
+                mem_access: 0.15,
+                l2_mpki: 0.5,
+                memory_phase_mpki_mult: 6.0,
+                branch_pki: 1.4,
+                ilp: 2.2,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "StringSearch",
+                snippets: 16,
+                memory_phase_prob: 0.15,
+                mem_access: 0.22,
+                l2_mpki: 1.0,
+                memory_phase_mpki_mult: 5.0,
+                branch_pki: 8.0,
+                ilp: 1.5,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "ADPCM",
+                snippets: 18,
+                memory_phase_prob: 0.07,
+                mem_access: 0.13,
+                l2_mpki: 0.3,
+                memory_phase_mpki_mult: 6.0,
+                branch_pki: 1.1,
+                ilp: 2.5,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "AES",
+                snippets: 18,
+                memory_phase_prob: 0.09,
+                mem_access: 0.16,
+                l2_mpki: 0.5,
+                memory_phase_mpki_mult: 6.0,
+                branch_pki: 0.9,
+                ilp: 2.6,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
         ]
     }
 
     fn cortex_specs() -> Vec<AppSpec> {
         vec![
-            AppSpec { name: "Kmeans", snippets: 28, memory_phase_prob: 0.45, mem_access: 0.34, l2_mpki: 6.0, memory_phase_mpki_mult: 3.5, branch_pki: 3.0, ilp: 1.5, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "Spectral", snippets: 26, memory_phase_prob: 0.35, mem_access: 0.30, l2_mpki: 4.0, memory_phase_mpki_mult: 3.5, branch_pki: 2.2, ilp: 1.8, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "MotionEst", snippets: 24, memory_phase_prob: 0.40, mem_access: 0.33, l2_mpki: 5.0, memory_phase_mpki_mult: 3.0, branch_pki: 3.8, ilp: 1.6, threads: 1, parallel_fraction: 0.0 },
-            AppSpec { name: "PCA", snippets: 26, memory_phase_prob: 0.42, mem_access: 0.36, l2_mpki: 5.5, memory_phase_mpki_mult: 3.2, branch_pki: 2.5, ilp: 1.7, threads: 1, parallel_fraction: 0.0 },
+            AppSpec {
+                name: "Kmeans",
+                snippets: 28,
+                memory_phase_prob: 0.45,
+                mem_access: 0.34,
+                l2_mpki: 6.0,
+                memory_phase_mpki_mult: 3.5,
+                branch_pki: 3.0,
+                ilp: 1.5,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "Spectral",
+                snippets: 26,
+                memory_phase_prob: 0.35,
+                mem_access: 0.30,
+                l2_mpki: 4.0,
+                memory_phase_mpki_mult: 3.5,
+                branch_pki: 2.2,
+                ilp: 1.8,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "MotionEst",
+                snippets: 24,
+                memory_phase_prob: 0.40,
+                mem_access: 0.33,
+                l2_mpki: 5.0,
+                memory_phase_mpki_mult: 3.0,
+                branch_pki: 3.8,
+                ilp: 1.6,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
+            AppSpec {
+                name: "PCA",
+                snippets: 26,
+                memory_phase_prob: 0.42,
+                mem_access: 0.36,
+                l2_mpki: 5.5,
+                memory_phase_mpki_mult: 3.2,
+                branch_pki: 2.5,
+                ilp: 1.7,
+                threads: 1,
+                parallel_fraction: 0.0,
+            },
         ]
     }
 
     fn parsec_specs() -> Vec<AppSpec> {
         vec![
-            AppSpec { name: "Blackscholes-2T", snippets: 30, memory_phase_prob: 0.55, mem_access: 0.40, l2_mpki: 9.0, memory_phase_mpki_mult: 2.5, branch_pki: 2.0, ilp: 1.8, threads: 2, parallel_fraction: 0.85 },
-            AppSpec { name: "Blackscholes-4T", snippets: 30, memory_phase_prob: 0.55, mem_access: 0.40, l2_mpki: 9.5, memory_phase_mpki_mult: 2.5, branch_pki: 2.0, ilp: 1.8, threads: 4, parallel_fraction: 0.9 },
+            AppSpec {
+                name: "Blackscholes-2T",
+                snippets: 30,
+                memory_phase_prob: 0.55,
+                mem_access: 0.40,
+                l2_mpki: 9.0,
+                memory_phase_mpki_mult: 2.5,
+                branch_pki: 2.0,
+                ilp: 1.8,
+                threads: 2,
+                parallel_fraction: 0.85,
+            },
+            AppSpec {
+                name: "Blackscholes-4T",
+                snippets: 30,
+                memory_phase_prob: 0.55,
+                mem_access: 0.40,
+                l2_mpki: 9.5,
+                memory_phase_mpki_mult: 2.5,
+                branch_pki: 2.0,
+                ilp: 1.8,
+                threads: 4,
+                parallel_fraction: 0.9,
+            },
         ]
     }
 }

@@ -37,5 +37,7 @@ fn main() {
         pkg_dram * 100.0,
         fig5.mean_performance_overhead() * 100.0
     );
-    println!("\nPaper reference (Figure 5): GPU 5-58% (avg ~25%), PKG/PKG+DRAM ~15%, overhead 0.4%.");
+    println!(
+        "\nPaper reference (Figure 5): GPU 5-58% (avg ~25%), PKG/PKG+DRAM ~15%, overhead 0.4%."
+    );
 }

@@ -11,10 +11,7 @@ use soclearn_core::experiments::{convergence_comparison, energy_comparison, Expe
 fn main() {
     let fig3 = convergence_comparison(ExperimentScale::Full);
     println!("Figure 3: convergence toward the Oracle's big-cluster frequency decisions");
-    println!(
-        "  sequence length: {:.1} s of simulated execution",
-        fig3.sequence_time_s
-    );
+    println!("  sequence length: {:.1} s of simulated execution", fig3.sequence_time_s);
     match fig3.online_il.time_to_90_percent_s {
         Some(t) => println!(
             "  online-IL reaches 90% accuracy after {:.1} s ({:.1}% of the sequence)",

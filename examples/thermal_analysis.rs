@@ -69,5 +69,8 @@ fn main() {
         selection.sensors,
         estimator.rmse(&samples, &skin)
     );
-    println!("  estimate for [80, 73, 50, 0.5]: {:.1} C", estimator.estimate(&[80.0, 73.0, 50.0, 0.5]));
+    println!(
+        "  estimate for [80, 73, 50, 0.5]: {:.1} C",
+        estimator.estimate(&[80.0, 73.0, 50.0, 0.5])
+    );
 }

@@ -131,11 +131,8 @@ fn gpu_pipeline_runs_end_to_end_with_all_controllers() {
         6,
     );
 
-    let mut controllers: Vec<Box<dyn GpuController>> = vec![
-        Box::new(UtilizationGovernor::new()),
-        Box::new(nmpc),
-        Box::new(explicit),
-    ];
+    let mut controllers: Vec<Box<dyn GpuController>> =
+        vec![Box::new(UtilizationGovernor::new()), Box::new(nmpc), Box::new(explicit)];
     let mut sim = GpuSimulator::new(platform);
     for controller in controllers.iter_mut() {
         let run = sim.run_workload(&workload, controller.as_mut());

@@ -1,0 +1,353 @@
+//! Offline shim of the `proptest` API subset this workspace uses.
+//!
+//! Supports [`Strategy`] with `prop_map`, uniform range strategies over the
+//! primitive numeric types, tuple strategies up to arity 10,
+//! [`collection::vec`], and the [`proptest!`]/[`prop_assert!`] macros backed
+//! by a deterministic runner (cases are seeded from the test name, so runs
+//! reproduce exactly; there is no shrinking — the first failing input is
+//! reported as-is). See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy: Sized {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Transforms every generated value with `map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F> {
+        Map { source: self, map }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        if a == b {
+            a
+        } else {
+            rng.gen_range(a..b)
+        }
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                if a == b {
+                    a
+                } else if b < <$t>::MAX {
+                    rng.gen_range(a..b + 1)
+                } else {
+                    rng.gen_range(a..b)
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident : $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0: 0);
+impl_tuple_strategy!(S0: 0, S1: 1);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6, S7: 7);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6, S7: 7, S8: 8);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6, S7: 7, S8: 8, S9: 9);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Admissible length specifications for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 == self.size.max_exclusive {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Failure raised by a `prop_assert!` inside a property body.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl From<String> for TestCaseError {
+    fn from(message: String) -> Self {
+        Self(message)
+    }
+}
+
+/// Deterministic property runner (no shrinking).
+pub mod test_runner {
+    use super::*;
+
+    /// Executes a property over many generated cases.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Builds a runner with the given configuration.
+        pub fn new(config: ProptestConfig) -> Self {
+            Self { config }
+        }
+
+        /// Runs `property` against `self.config.cases` values drawn from
+        /// `strategy`, seeding the RNG from `name` so every run is
+        /// reproducible. Panics with the offending input on the first failure.
+        pub fn run_named<S, F>(&mut self, name: &str, strategy: &S, property: F)
+        where
+            S: Strategy,
+            S::Value: Debug,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            use rand::SeedableRng;
+
+            // FNV-1a over the test name: stable, dependency-free seeding.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for case in 0..self.config.cases {
+                let input = strategy.generate(&mut rng);
+                let display = format!("{input:?}");
+                if let Err(TestCaseError(message)) = property(input) {
+                    panic!(
+                        "property `{name}` failed at case {case}/{total}:\n  {message}\n  input: {display}",
+                        total = self.config.cases,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, proptest, ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Asserts a condition inside a property body, failing the current case (with
+/// source location) instead of panicking, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "{} at {}:{}",
+                format_args!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@config $config:expr;) => {};
+    (@config $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run_named(
+                stringify!($name),
+                &($($strategy,)+),
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_body! { @config $config; $($rest)* }
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @config $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { @config $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, usize)> {
+        (0.0f64..1.0, 0usize..10).prop_map(|(x, n)| (x * 2.0, n))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -1.0f64..=1.0, n in 1u32..=4, k in 0usize..7) {
+            prop_assert!((-1.0..=1.0).contains(&x));
+            prop_assert!((1..=4).contains(&n));
+            prop_assert!(k < 7);
+        }
+
+        #[test]
+        fn mapped_tuples_work(p in pair()) {
+            prop_assert!(p.0 < 2.0 && p.1 < 10);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(crate::collection::vec(-1.0f64..1.0, 3), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|row| row.len() == 3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_input() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8));
+        runner.run_named("always_fails", &(0usize..10,), |(x,)| {
+            prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        });
+    }
+}

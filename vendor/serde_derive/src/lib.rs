@@ -1,0 +1,307 @@
+//! Offline shim of `serde_derive`.
+//!
+//! `#[derive(Serialize)]` generates a real impl of the shim's
+//! [`serde::Serialize`] trait (`fn serialize_json(&self, out: &mut String)`),
+//! following serde_json's conventions: structs become objects, unit enum
+//! variants become strings, newtype variants `{"Variant": value}`, tuple
+//! variants `{"Variant": [..]}` and struct variants `{"Variant": {..}}`.
+//! The parser is hand-rolled (no `syn` in the offline container) and supports
+//! the shapes this workspace uses: non-generic structs and enums without
+//! `#[serde(...)]` field attributes. `#[derive(Deserialize)]` stays a no-op
+//! because nothing in the workspace deserializes. See `vendor/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Generates a JSON `Serialize` impl for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("shim serde derive emitted invalid Rust"),
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("compile_error emission failed"),
+    }
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`; the annotations remain as
+/// forward-compatibility markers.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    let is_enum = skip_to_keyword(&mut tokens)?;
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the offline serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n    fn serialize_json(&self, out: &mut ::std::string::String) {{\n"
+    ));
+    if is_enum {
+        let variants = parse_enum_body(&mut tokens, &name)?;
+        out.push_str("        match self {\n");
+        for variant in &variants {
+            out.push_str(&variant_arm(&name, variant));
+        }
+        out.push_str("        }\n");
+    } else {
+        match parse_struct_body(&mut tokens, &name)? {
+            Fields::Unit => out.push_str("        out.push_str(\"null\");\n"),
+            Fields::Named(fields) => {
+                out.push_str("        out.push('{');\n");
+                for (i, field) in fields.iter().enumerate() {
+                    let comma = if i == 0 { "" } else { "," };
+                    out.push_str(&format!(
+                        "        out.push_str(\"{comma}\\\"{field}\\\":\");\n        ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+                    ));
+                }
+                out.push_str("        out.push('}');\n");
+            }
+            Fields::Tuple(1) => {
+                out.push_str("        ::serde::Serialize::serialize_json(&self.0, out);\n");
+            }
+            Fields::Tuple(n) => {
+                out.push_str("        out.push('[');\n");
+                for i in 0..n {
+                    if i > 0 {
+                        out.push_str("        out.push(',');\n");
+                    }
+                    out.push_str(&format!(
+                        "        ::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                    ));
+                }
+                out.push_str("        out.push(']');\n");
+            }
+        }
+    }
+    out.push_str("    }\n}\n");
+    Ok(out)
+}
+
+/// One `match` arm serializing an enum variant with serde's external tagging.
+fn variant_arm(name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.fields {
+        Fields::Unit => format!(
+            "            {name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+        ),
+        Fields::Tuple(1) => format!(
+            "            {name}::{vname}(f0) => {{\n                out.push_str(\"{{\\\"{vname}\\\":\");\n                ::serde::Serialize::serialize_json(f0, out);\n                out.push('}}');\n            }}\n"
+        ),
+        Fields::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let mut body = format!(
+                "            {name}::{vname}({}) => {{\n                out.push_str(\"{{\\\"{vname}\\\":[\");\n",
+                bindings.join(", ")
+            );
+            for (i, binding) in bindings.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("                out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "                ::serde::Serialize::serialize_json({binding}, out);\n"
+                ));
+            }
+            body.push_str("                out.push_str(\"]}\");\n            }\n");
+            body
+        }
+        Fields::Named(fields) => {
+            let mut body = format!(
+                "            {name}::{vname} {{ {} }} => {{\n                out.push_str(\"{{\\\"{vname}\\\":{{\");\n",
+                fields.join(", ")
+            );
+            for (i, field) in fields.iter().enumerate() {
+                let comma = if i == 0 { "" } else { "," };
+                body.push_str(&format!(
+                    "                out.push_str(\"{comma}\\\"{field}\\\":\");\n                ::serde::Serialize::serialize_json({field}, out);\n"
+                ));
+            }
+            body.push_str("                out.push_str(\"}}\");\n            }\n");
+            body
+        }
+    }
+}
+
+/// Skips outer attributes and visibility, returning `true` for `enum`.
+fn skip_to_keyword(tokens: &mut TokenIter) -> Result<bool, String> {
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next(); // pub(crate) etc.
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => return Ok(false),
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => return Ok(true),
+            other => return Err(format!("unexpected token before struct/enum: {other:?}")),
+        }
+    }
+}
+
+fn parse_struct_body(tokens: &mut TokenIter, name: &str) -> Result<Fields, String> {
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Fields::Named(named_field_names(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Fields::Unit),
+        other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+    }
+}
+
+fn parse_enum_body(tokens: &mut TokenIter, name: &str) -> Result<Vec<Variant>, String> {
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("unsupported enum body for `{name}`: {other:?}")),
+    };
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        // Skip attributes on the variant.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let vname = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name in `{name}`, found {other:?}")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                iter.next();
+                Fields::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_field_names(g.stream())?;
+                iter.next();
+                Fields::Named(fields)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while let Some(tt) = iter.peek() {
+                if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                iter.next();
+            }
+        }
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name: vname, fields });
+    }
+    Ok(variants)
+}
+
+/// Extracts field names from `{ pub a: T, b: U, .. }`, skipping types with
+/// angle-bracket awareness (commas inside `Vec<K, V>` are not separators).
+fn named_field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        if matches!(&iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field, found {other:?}")),
+                }
+                skip_type(&mut iter);
+            }
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Consumes a type up to (and including) the next top-level `,`.
+fn skip_type(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the top-level comma-separated elements of a tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut separators = 0usize;
+    let mut saw_any = false;
+    let mut trailing_comma = false;
+    for tt in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    separators += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if !saw_any {
+        0
+    } else if trailing_comma {
+        separators
+    } else {
+        separators + 1
+    }
+}

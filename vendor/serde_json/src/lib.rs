@@ -1,0 +1,40 @@
+//! Offline shim of the `serde_json` API subset this workspace uses:
+//! [`to_string`]. Encoding is driven by the shim `serde::Serialize` trait,
+//! which writes JSON directly. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Serialization error, mirroring `serde_json::Error`.
+///
+/// The shim encoder is infallible (non-finite floats become `null` instead of
+/// failing), so this type is never constructed; it exists so call sites using
+/// `Result`-based APIs compile unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Encodes `value` as a compact JSON string, mirroring
+/// `serde_json::to_string`.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_encodes_containers() {
+        let value = vec![Some(1.25f64), None];
+        assert_eq!(super::to_string(&value).unwrap(), "[1.25,null]");
+    }
+}
