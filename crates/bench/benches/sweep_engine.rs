@@ -1,0 +1,117 @@
+//! Full-configuration sweep: per-call loop vs batched vs cached SweepEngine.
+//!
+//! The acceptance numbers for the runtime subsystem: the batched sweep must
+//! beat the per-call `evaluate_snippet` loop by ≥2× in the serving steady
+//! state, and cached results must be bit-identical to uncached ones.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use soclearn_core::prelude::*;
+use soclearn_runtime::{scaled_suite, SweepCache};
+
+/// The serving workload: several "users" running the same application mix, so
+/// snippets repeat across users (each user starts from ambient thermal state).
+fn workload() -> Vec<SnippetProfile> {
+    let benchmarks = scaled_suite(SuiteKind::MiBench, ExperimentScale::Quick);
+    let one_user: Vec<SnippetProfile> =
+        benchmarks.into_iter().flat_map(|(_, snippets)| snippets).collect();
+    let mut stream = Vec::new();
+    for _ in 0..8 {
+        stream.extend(one_user.iter().cloned());
+    }
+    stream
+}
+
+fn per_call_loop(sim: &SocSimulator, stream: &[SnippetProfile]) -> f64 {
+    let configs = sim.platform().configs();
+    let mut acc = 0.0;
+    for profile in stream {
+        for &config in &configs {
+            acc += sim.evaluate_snippet(profile, config).energy_j;
+        }
+    }
+    acc
+}
+
+fn batched(sim: &SocSimulator, stream: &[SnippetProfile]) -> f64 {
+    let mut acc = 0.0;
+    for profile in stream {
+        for execution in sim.evaluate_all_configs(profile) {
+            acc += execution.energy_j;
+        }
+    }
+    acc
+}
+
+fn cached(engine: &SweepEngine, stream: &[SnippetProfile]) -> f64 {
+    let mut acc = 0.0;
+    for profile in stream {
+        for execution in engine.sweep(profile).iter() {
+            acc += execution.energy_j;
+        }
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let platform = SocPlatform::odroid_xu3();
+    let sim = SocSimulator::new(platform.clone());
+    let stream = workload();
+    let engine =
+        SweepEngine::with_cache(platform.clone(), Arc::new(SweepCache::with_capacity(512)));
+
+    // Equivalence first: the cached sweep must be bit-identical to the
+    // per-call loop for every (snippet, config) pair.
+    for profile in stream.iter().take(40) {
+        let sweep = engine.sweep(profile);
+        for (execution, config) in sweep.iter().zip(platform.configs()) {
+            let fresh = sim.evaluate_snippet(profile, config);
+            assert_eq!(execution.energy_j.to_bits(), fresh.energy_j.to_bits());
+            assert_eq!(execution.time_s.to_bits(), fresh.time_s.to_bits());
+        }
+    }
+
+    // Headline numbers: one timed pass of each strategy over the same stream.
+    let reference = per_call_loop(&sim, &stream);
+    let t0 = Instant::now();
+    let a = per_call_loop(&sim, &stream);
+    let per_call_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let b = batched(&sim, &stream);
+    let batched_s = t1.elapsed().as_secs_f64();
+    let t2 = Instant::now();
+    let c_sum = cached(&engine, &stream);
+    let cached_s = t2.elapsed().as_secs_f64();
+    assert_eq!(a.to_bits(), reference.to_bits());
+    assert_eq!(b.to_bits(), reference.to_bits());
+    assert_eq!(c_sum.to_bits(), reference.to_bits());
+    println!(
+        "\nsweep of {} snippets x {} configs:\n  per-call loop   {:>8.2} ms\n  batched         {:>8.2} ms  ({:.2}x)\n  cached engine   {:>8.2} ms  ({:.2}x, hit rate {:.0}%)\n",
+        stream.len(),
+        platform.config_count(),
+        per_call_s * 1e3,
+        batched_s * 1e3,
+        per_call_s / batched_s,
+        cached_s * 1e3,
+        per_call_s / cached_s,
+        engine.cache().stats().hit_rate() * 100.0
+    );
+
+    let mut group = c.benchmark_group("sweep_engine");
+    group.sample_size(10);
+    group.bench_function("per_call_evaluate_snippet_loop", |bencher| {
+        bencher.iter(|| black_box(per_call_loop(&sim, &stream)))
+    });
+    group.bench_function("batched_evaluate_all_configs", |bencher| {
+        bencher.iter(|| black_box(batched(&sim, &stream)))
+    });
+    group.bench_function("sweep_engine_cached", |bencher| {
+        bencher.iter(|| black_box(cached(&engine, &stream)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use soclearn_rl::{QTableAgent, RlConfig};
 use soclearn_soc_sim::SocPlatform;
 use soclearn_workloads::SuiteKind;
 
-use super::helpers::{profiles_of, scaled_suite, sequence_of, TrainingArtifacts};
+use super::helpers::{experiment_artifacts, profiles_of, scaled_suite, sequence_of};
 use super::ExperimentScale;
 use crate::harness::run_policy;
 
@@ -67,7 +67,7 @@ fn series_for(
 /// Regenerates Figure 3.
 pub fn convergence_comparison(scale: ExperimentScale) -> Fig3Result {
     let platform = SocPlatform::odroid_xu3();
-    let artifacts = TrainingArtifacts::build(platform.clone(), scale);
+    let artifacts = experiment_artifacts(&platform, scale);
 
     // The adaptation sequence: Cortex followed by PARSEC applications.
     let mut benchmarks = scaled_suite(SuiteKind::Cortex, scale);

@@ -11,7 +11,7 @@ use soclearn_rl::{QTableAgent, RlConfig};
 use soclearn_soc_sim::{DvfsPolicy, SocPlatform};
 use soclearn_workloads::SuiteKind;
 
-use super::helpers::{scaled_suite, sequence_of, TrainingArtifacts};
+use super::helpers::{experiment_artifacts, scaled_suite, sequence_of};
 use super::ExperimentScale;
 use crate::harness::run_policy;
 use soclearn_imitation::OnlineIlConfig;
@@ -69,7 +69,7 @@ impl Fig4Result {
 /// Regenerates Figure 4.
 pub fn energy_comparison(scale: ExperimentScale) -> Fig4Result {
     let platform = SocPlatform::odroid_xu3();
-    let artifacts = TrainingArtifacts::build(platform.clone(), scale);
+    let artifacts = experiment_artifacts(&platform, scale);
 
     let mut online_il: Box<dyn DvfsPolicy> = Box::new(artifacts.online_policy(OnlineIlConfig {
         buffer_capacity: 15,

@@ -1,88 +1,29 @@
 //! Shared building blocks for the CPU-side experiments.
+//!
+//! The design-time pipeline (suite scaling, Oracle demonstration collection,
+//! offline policy training, online-model bootstrapping) lives in
+//! [`soclearn_runtime`]; this module re-exports it and provides the one entry
+//! point every experiment uses: [`experiment_artifacts`], which serves
+//! [`TrainingArtifacts`] from the process-wide
+//! [`ArtifactStore`](soclearn_runtime::ArtifactStore).  Experiments therefore
+//! build artifacts **once per process** — re-running fig3 after table2 reuses
+//! the demonstrations, the trained policies, the pretrained online models and
+//! every memoised Oracle run.
 
-use soclearn_imitation::{OfflineIlPolicy, OnlineIlConfig, OnlineIlPolicy, PolicyModelKind};
-use soclearn_oracle::{collect_demonstrations, OracleObjective, OracleRun};
-use soclearn_soc_sim::{SocPlatform, SocSimulator};
-use soclearn_workloads::{ApplicationSequence, BenchmarkSuite, SnippetProfile, SuiteKind};
+use std::sync::Arc;
+
+use soclearn_soc_sim::SocPlatform;
 
 use super::ExperimentScale;
 
-/// Deterministic seed used by every experiment for workload generation.
-pub const EXPERIMENT_SEED: u64 = 2020;
+pub use soclearn_runtime::{
+    profiles_of, scaled_suite, sequence_of, TrainingArtifacts, EXPERIMENT_SEED,
+};
 
-/// Builds a benchmark suite and truncates every benchmark to the scale's snippet
-/// budget.
-pub fn scaled_suite(kind: SuiteKind, scale: ExperimentScale) -> Vec<(String, Vec<SnippetProfile>)> {
-    let suite = BenchmarkSuite::generate(kind, EXPERIMENT_SEED);
-    suite
-        .benchmarks()
-        .iter()
-        .map(|b| {
-            let n = b.snippets().len().min(scale.snippets_per_benchmark());
-            (b.name().to_owned(), b.snippets()[..n].to_vec())
-        })
-        .collect()
-}
-
-/// Concatenates benchmarks into the profile sequence used by the harness.
-pub fn profiles_of(benchmarks: &[(String, Vec<SnippetProfile>)]) -> Vec<SnippetProfile> {
-    benchmarks.iter().flat_map(|(_, s)| s.iter().cloned()).collect()
-}
-
-/// Builds an [`ApplicationSequence`] with provenance from scaled benchmarks.
-pub fn sequence_of(
-    benchmarks: &[(String, Vec<SnippetProfile>)],
-    kind: SuiteKind,
-) -> ApplicationSequence {
-    let mut seq = ApplicationSequence::new();
-    for (name, snippets) in benchmarks {
-        let benchmark = soclearn_workloads::Benchmark::new(name.clone(), kind, snippets.clone());
-        seq.push_benchmark(&benchmark);
-    }
-    seq
-}
-
-/// Design-time artefacts shared by the IL experiments: Oracle demonstrations from
-/// the Mi-Bench-like training suite plus the trained offline policies.
-pub struct TrainingArtifacts {
-    /// The platform everything is trained for.
-    pub platform: SocPlatform,
-    /// Training profiles (Mi-Bench-like, truncated to scale).
-    pub training_profiles: Vec<SnippetProfile>,
-    /// Offline tree policy (used for Table II).
-    pub tree_policy: OfflineIlPolicy,
-    /// Offline MLP policy (basis of the online-IL policy).
-    pub mlp_policy: OfflineIlPolicy,
-}
-
-impl TrainingArtifacts {
-    /// Collects demonstrations on the Mi-Bench-like suite and trains both offline
-    /// policies.
-    pub fn build(platform: SocPlatform, scale: ExperimentScale) -> Self {
-        let training = scaled_suite(SuiteKind::MiBench, scale);
-        let training_profiles = profiles_of(&training);
-        let mut sim = SocSimulator::new(platform.clone());
-        let demos = collect_demonstrations(&mut sim, &training_profiles, OracleObjective::Energy);
-        let tree_policy = OfflineIlPolicy::train(&platform, &demos, PolicyModelKind::Tree);
-        let mlp_policy = OfflineIlPolicy::train(&platform, &demos, PolicyModelKind::Mlp);
-        Self { platform, training_profiles, tree_policy, mlp_policy }
-    }
-
-    /// Builds the online-IL policy: the offline MLP policy plus power/performance
-    /// models bootstrapped from the training profiles.
-    pub fn online_policy(&self, config: OnlineIlConfig) -> OnlineIlPolicy {
-        let mut online = OnlineIlPolicy::from_offline(self.mlp_policy.clone(), config);
-        // Bootstrapping over a subset keeps construction fast without hurting
-        // model quality (the profiles are highly redundant).
-        let subset: Vec<SnippetProfile> =
-            self.training_profiles.iter().step_by(4).cloned().collect();
-        online.pretrain_models(&SocSimulator::new(self.platform.clone()), &subset);
-        online
-    }
-
-    /// Runs the Oracle over a profile sequence and returns the run.
-    pub fn oracle_run(&self, profiles: &[SnippetProfile]) -> OracleRun {
-        let mut sim = SocSimulator::new(self.platform.clone());
-        OracleRun::execute(&mut sim, profiles, OracleObjective::Energy)
-    }
+/// Process-wide shared [`TrainingArtifacts`] for `platform` at `scale`.
+pub fn experiment_artifacts(
+    platform: &SocPlatform,
+    scale: ExperimentScale,
+) -> Arc<TrainingArtifacts> {
+    soclearn_runtime::shared_artifacts(platform, scale)
 }

@@ -25,44 +25,14 @@ pub mod helpers;
 pub mod noc;
 pub mod table2;
 
-use serde::{Deserialize, Serialize};
+/// Re-export of the experiment scaling knob, which now lives in
+/// [`soclearn_runtime`] because it is part of every artifact-store key.
+pub use soclearn_runtime::ExperimentScale;
 
-/// How much work an experiment should do.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ExperimentScale {
-    /// Reduced workload sizes; suitable for unit/integration tests.
-    Quick,
-    /// Full workload sizes used by the benchmark harness and EXPERIMENTS.md.
-    Full,
-}
-
-impl ExperimentScale {
-    /// Number of snippets to keep per benchmark (caps the sequence length).
-    pub fn snippets_per_benchmark(&self) -> usize {
-        match self {
-            ExperimentScale::Quick => 10,
-            ExperimentScale::Full => usize::MAX,
-        }
-    }
-
-    /// Number of frames per graphics workload.
-    pub fn frames_per_workload(&self) -> usize {
-        match self {
-            ExperimentScale::Quick => 120,
-            ExperimentScale::Full => 600,
-        }
-    }
-
-    /// Simulated cycles per NoC measurement point.
-    pub fn noc_cycles(&self) -> u64 {
-        match self {
-            ExperimentScale::Quick => 10_000,
-            ExperimentScale::Full => 40_000,
-        }
-    }
-}
-
-pub use ablations::{buffer_ablation, overhead_ablation, BufferAblationRow, OverheadRow};
+pub use ablations::{
+    buffer_ablation, forgetting_ablation, overhead_ablation, BufferAblationRow,
+    ForgettingAblationRow, OverheadRow,
+};
 pub use fig2::{frame_time_prediction, Fig2Result};
 pub use fig3::{convergence_comparison, Fig3Result};
 pub use fig4::{energy_comparison, Fig4Result, Fig4Row};

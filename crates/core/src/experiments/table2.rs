@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use soclearn_soc_sim::SocPlatform;
 use soclearn_workloads::SuiteKind;
 
-use super::helpers::{scaled_suite, sequence_of, TrainingArtifacts};
+use super::helpers::{experiment_artifacts, scaled_suite, sequence_of};
 use super::ExperimentScale;
 use crate::harness::run_policy;
 
@@ -72,7 +72,7 @@ impl Table2Result {
 /// Regenerates Table II.
 pub fn offline_il_generalization(scale: ExperimentScale) -> Table2Result {
     let platform = SocPlatform::odroid_xu3();
-    let artifacts = TrainingArtifacts::build(platform.clone(), scale);
+    let artifacts = experiment_artifacts(&platform, scale);
 
     let mut rows = Vec::new();
     for suite_kind in SuiteKind::ALL {

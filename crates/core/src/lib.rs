@@ -63,6 +63,10 @@ pub mod prelude {
         FixedPointAnalysis, RcThermalModel, SkinTemperatureEstimator,
     };
     pub use soclearn_rl::{DqnAgent, QTableAgent, RlConfig};
+    pub use soclearn_runtime::{
+        shared_artifacts, ArtifactStore, DriverTelemetry, ExperimentScale, ScenarioDriver,
+        ScenarioSpec, SweepCache, SweepEngine, TrainingArtifacts,
+    };
     pub use soclearn_soc_sim::{
         DvfsConfig, DvfsPolicy, PolicyDecision, SnippetCounters, SnippetExecution, SocPlatform,
         SocSimulator,

@@ -42,34 +42,73 @@ pub fn candidate_features(
     observed: DvfsConfig,
     candidate: DvfsConfig,
 ) -> Vec<f64> {
-    let f_little_ghz = platform.frequency(ClusterKind::Little, candidate) / 1e9;
-    let f_big_ghz = platform.frequency(ClusterKind::Big, candidate) / 1e9;
-    let f_obs_big_ghz = platform.frequency(ClusterKind::Big, observed) / 1e9;
-    let instructions = counters.instructions_retired.max(1.0);
-    let kilo_instructions = (instructions / 1000.0).max(1e-9);
-    let cpi = counters.cpu_cycles_total / instructions;
-    let ext_pki = counters.external_memory_requests / kilo_instructions;
-    vec![
-        // Frequency-scaled compute term: cycles carried over from the observation,
-        // executed at the candidate's big-cluster frequency.
-        cpi / f_big_ghz,
-        // Correction term: the part of the observed CPI that was DRAM stall scales
-        // with the observed frequency, letting the model subtract it back out.
-        ext_pki * f_obs_big_ghz / f_big_ghz,
-        // Frequency-independent memory term.
-        ext_pki,
-        // Dynamic-power proxies for both clusters (V roughly tracks f, so the
-        // switching power scales like f³ to first order).
-        f_big_ghz * f_big_ghz * f_big_ghz,
-        f_little_ghz * f_little_ghz * f_little_ghz,
-        // Linear frequency terms.
-        f_big_ghz,
-        f_little_ghz,
-        // Occupancy of the big cluster.
-        counters.big_cluster_utilization,
-        // Bias.
-        1.0,
-    ]
+    CandidateFeatureBasis::new(platform, counters, observed).features(platform, candidate)
+}
+
+/// The candidate-independent half of [`candidate_features`].
+///
+/// At every decision the online-IL runtime scores a whole neighbourhood of
+/// candidate configurations against the *same* observed counters; only the
+/// frequency terms differ between candidates.  Computing the basis once and
+/// instantiating it per candidate hoists the counter arithmetic out of the
+/// candidate loop, and the produced vectors are bit-identical to calling
+/// [`candidate_features`] per candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateFeatureBasis {
+    f_obs_big_ghz: f64,
+    kilo_instructions: f64,
+    cpi: f64,
+    ext_pki: f64,
+    big_cluster_utilization: f64,
+}
+
+impl CandidateFeatureBasis {
+    /// Builds the basis from the counters observed while running at `observed`.
+    pub fn new(platform: &SocPlatform, counters: &SnippetCounters, observed: DvfsConfig) -> Self {
+        let f_obs_big_ghz = platform.frequency(ClusterKind::Big, observed) / 1e9;
+        let instructions = counters.instructions_retired.max(1.0);
+        let kilo_instructions = (instructions / 1000.0).max(1e-9);
+        Self {
+            f_obs_big_ghz,
+            kilo_instructions,
+            cpi: counters.cpu_cycles_total / instructions,
+            ext_pki: counters.external_memory_requests / kilo_instructions,
+            big_cluster_utilization: counters.big_cluster_utilization,
+        }
+    }
+
+    /// Kilo-instructions of the observed snippet; the scale factor that turns a
+    /// per-kilo-instruction time prediction back into absolute seconds.
+    pub fn kilo_instructions(&self) -> f64 {
+        self.kilo_instructions
+    }
+
+    /// Instantiates the feature vector for one candidate configuration.
+    pub fn features(&self, platform: &SocPlatform, candidate: DvfsConfig) -> Vec<f64> {
+        let f_little_ghz = platform.frequency(ClusterKind::Little, candidate) / 1e9;
+        let f_big_ghz = platform.frequency(ClusterKind::Big, candidate) / 1e9;
+        vec![
+            // Frequency-scaled compute term: cycles carried over from the observation,
+            // executed at the candidate's big-cluster frequency.
+            self.cpi / f_big_ghz,
+            // Correction term: the part of the observed CPI that was DRAM stall scales
+            // with the observed frequency, letting the model subtract it back out.
+            self.ext_pki * self.f_obs_big_ghz / f_big_ghz,
+            // Frequency-independent memory term.
+            self.ext_pki,
+            // Dynamic-power proxies for both clusters (V roughly tracks f, so the
+            // switching power scales like f³ to first order).
+            f_big_ghz * f_big_ghz * f_big_ghz,
+            f_little_ghz * f_little_ghz * f_little_ghz,
+            // Linear frequency terms.
+            f_big_ghz,
+            f_little_ghz,
+            // Occupancy of the big cluster.
+            self.big_cluster_utilization,
+            // Bias.
+            1.0,
+        ]
+    }
 }
 
 /// Number of features produced by [`candidate_features`].
@@ -109,6 +148,21 @@ mod tests {
         assert_eq!(slow[2], fast[2]);
         // The stall-correction term scales inversely with the candidate frequency.
         assert!(fast[1] < slow[1]);
+    }
+
+    #[test]
+    fn basis_matches_per_candidate_features_bitwise() {
+        let platform = SocPlatform::odroid_xu3();
+        let sim = SocSimulator::new(platform.clone());
+        let observed = DvfsConfig::new(1, 4);
+        let r = sim.evaluate_snippet(&SnippetProfile::memory_bound(100_000_000), observed);
+        let basis = CandidateFeatureBasis::new(&platform, &r.counters, observed);
+        for candidate in platform.configs() {
+            let direct = candidate_features(&platform, &r.counters, observed, candidate);
+            let via_basis = basis.features(&platform, candidate);
+            assert_eq!(direct, via_basis);
+        }
+        assert!(basis.kilo_instructions() > 0.0);
     }
 
     #[test]

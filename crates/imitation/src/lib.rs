@@ -24,6 +24,6 @@ pub mod features;
 pub mod offline;
 pub mod online;
 
-pub use features::policy_features;
+pub use features::{candidate_features, policy_features, CandidateFeatureBasis};
 pub use offline::{OfflineIlPolicy, PolicyModelKind};
-pub use online::{OnlineIlConfig, OnlineIlPolicy, OnlineIlStats};
+pub use online::{pretrain_candidate_models, OnlineIlConfig, OnlineIlPolicy, OnlineIlStats};

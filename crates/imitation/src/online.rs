@@ -19,12 +19,12 @@
 
 use serde::{Deserialize, Serialize};
 use soclearn_online_learning::mlp::Mlp;
-use soclearn_online_learning::rls::RecursiveLeastSquares;
+use soclearn_online_learning::rls::{AdaptiveForgettingRls, RecursiveLeastSquares};
 use soclearn_online_learning::scaler::StandardScaler;
 use soclearn_online_learning::traits::{Classifier, OnlineRegressor};
 use soclearn_soc_sim::{ClusterKind, DvfsConfig, DvfsPolicy, PolicyDecision, SocPlatform};
 
-use crate::features::{candidate_features, policy_features, CANDIDATE_FEATURE_DIM};
+use crate::features::{policy_features, CandidateFeatureBasis, CANDIDATE_FEATURE_DIM};
 use crate::offline::OfflineIlPolicy;
 
 /// Tunable parameters of the online-IL methodology.
@@ -39,8 +39,19 @@ pub struct OnlineIlConfig {
     pub model_warmup: usize,
     /// Back-propagation epochs over the buffer at each policy update.
     pub update_epochs: usize,
-    /// Forgetting factor of the online power/performance models.
+    /// Forgetting factor of the online power/performance models (`λ_max` when
+    /// adaptive forgetting is enabled).
     pub forgetting_factor: f64,
+    /// Use the STAFF-style [`AdaptiveForgettingRls`] for the online models: the
+    /// factor drops toward [`OnlineIlConfig::lambda_min`] when prediction
+    /// errors spike (workload change) and recovers toward
+    /// [`OnlineIlConfig::forgetting_factor`] in steady state, avoiding the
+    /// covariance wind-up that a fixed factor suffers without persistent
+    /// excitation.
+    pub adaptive_forgetting: bool,
+    /// Lower bound of the adaptive forgetting factor; unused when
+    /// [`OnlineIlConfig::adaptive_forgetting`] is off.
+    pub lambda_min: f64,
 }
 
 impl Default for OnlineIlConfig {
@@ -51,6 +62,57 @@ impl Default for OnlineIlConfig {
             model_warmup: 5,
             update_epochs: 8,
             forgetting_factor: 0.97,
+            adaptive_forgetting: false,
+            lambda_min: 0.90,
+        }
+    }
+}
+
+/// An online power/performance model: fixed-forgetting RLS or the adaptive
+/// STAFF-style variant, selected by [`OnlineIlConfig::adaptive_forgetting`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum OnlineModel {
+    Fixed(RecursiveLeastSquares),
+    Adaptive(AdaptiveForgettingRls),
+}
+
+impl OnlineModel {
+    fn fresh(dim: usize, config: &OnlineIlConfig) -> Self {
+        Self::from_pretrained(RecursiveLeastSquares::new(dim, 1.0), config)
+    }
+
+    /// Wraps a batch-pretrained (`λ = 1`) estimator in the variant the config
+    /// selects, with the configured runtime forgetting factor(s).
+    fn from_pretrained(rls: RecursiveLeastSquares, config: &OnlineIlConfig) -> Self {
+        if config.adaptive_forgetting {
+            OnlineModel::Adaptive(AdaptiveForgettingRls::from_pretrained(
+                rls,
+                config.lambda_min,
+                config.forgetting_factor,
+            ))
+        } else {
+            OnlineModel::Fixed(rls.with_lambda(config.forgetting_factor))
+        }
+    }
+
+    fn update(&mut self, x: &[f64], y: f64) {
+        match self {
+            OnlineModel::Fixed(m) => m.update(x, y),
+            OnlineModel::Adaptive(m) => m.update(x, y),
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            OnlineModel::Fixed(m) => m.predict(x),
+            OnlineModel::Adaptive(m) => m.predict(x),
+        }
+    }
+
+    fn samples_seen(&self) -> usize {
+        match self {
+            OnlineModel::Fixed(m) => m.samples_seen(),
+            OnlineModel::Adaptive(m) => m.samples_seen(),
         }
     }
 }
@@ -79,14 +141,52 @@ impl OnlineIlStats {
     }
 }
 
+/// Bootstraps a pair of (power, time) candidate models from design-time data,
+/// exactly as the paper constructs them offline before deployment: every
+/// profile is evaluated at every configuration of the platform (one batched
+/// sweep per profile) and the resulting (counters, power, time) observations
+/// seed the RLS models.
+///
+/// The fit is a batch fit (`λ = 1`, no forgetting), otherwise only the last
+/// `≈ 1/(1-λ)` of the sweep would survive into deployment.  The **time model
+/// regresses time per kilo-instruction**, not absolute time, so the fit is
+/// scale-free: snippets of any instruction count share one model.
+///
+/// Returned models are `λ = 1` estimators; wrap them for runtime use via
+/// [`OnlineIlPolicy::install_pretrained_models`] (a shared artifact store can
+/// pretrain once and hand out clones to many policies).
+pub fn pretrain_candidate_models(
+    sim: &soclearn_soc_sim::SocSimulator,
+    profiles: &[soclearn_workloads::SnippetProfile],
+) -> (RecursiveLeastSquares, RecursiveLeastSquares) {
+    let mut power_model = RecursiveLeastSquares::new(CANDIDATE_FEATURE_DIM, 1.0);
+    let mut time_model = RecursiveLeastSquares::new(CANDIDATE_FEATURE_DIM, 1.0);
+    for profile in profiles {
+        // Evaluate the profile once at every configuration, then train the models
+        // on every (observation point, candidate) pair so they learn exactly the
+        // extrapolation they are asked to perform at run time.
+        let results = sim.evaluate_all_configs(profile);
+        for observed in &results {
+            let basis =
+                CandidateFeatureBasis::new(sim.platform(), &observed.counters, observed.config);
+            for target in &results {
+                let f = basis.features(sim.platform(), target.config);
+                power_model.update_retaining(&f, target.avg_power_w);
+                time_model.update_retaining(&f, target.time_s / basis.kilo_instructions());
+            }
+        }
+    }
+    (power_model, time_model)
+}
+
 /// The model-guided online imitation-learning policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OnlineIlPolicy {
     scaler: StandardScaler,
     little_mlp: Mlp,
     big_mlp: Mlp,
-    power_model: RecursiveLeastSquares,
-    time_model: RecursiveLeastSquares,
+    power_model: OnlineModel,
+    time_model: OnlineModel,
     buffer: Vec<(Vec<f64>, DvfsConfig)>,
     config: OnlineIlConfig,
     stats: OnlineIlStats,
@@ -107,11 +207,8 @@ impl OnlineIlPolicy {
             scaler,
             little_mlp,
             big_mlp,
-            power_model: RecursiveLeastSquares::new(
-                CANDIDATE_FEATURE_DIM,
-                config.forgetting_factor,
-            ),
-            time_model: RecursiveLeastSquares::new(CANDIDATE_FEATURE_DIM, config.forgetting_factor),
+            power_model: OnlineModel::fresh(CANDIDATE_FEATURE_DIM, &config),
+            time_model: OnlineModel::fresh(CANDIDATE_FEATURE_DIM, &config),
             buffer: Vec::with_capacity(config.buffer_capacity),
             config,
             stats: OnlineIlStats::default(),
@@ -120,37 +217,35 @@ impl OnlineIlPolicy {
         }
     }
 
-    /// Bootstraps the online power and performance models from design-time data,
-    /// exactly as the paper constructs them offline before deployment: every
-    /// profile is evaluated at every configuration of the platform and the
-    /// resulting (counters, power, time) observations seed the RLS models.
+    /// Bootstraps the online power and performance models from design-time data
+    /// (see [`pretrain_candidate_models`]), replacing any prior model state.
     pub fn pretrain_models(
         &mut self,
         sim: &soclearn_soc_sim::SocSimulator,
         profiles: &[soclearn_workloads::SnippetProfile],
     ) {
-        let configs = sim.platform().configs();
-        for profile in profiles {
-            // Evaluate the profile once at every configuration, then train the models
-            // on every (observation point, candidate) pair so they learn exactly the
-            // extrapolation they are asked to perform at run time.
-            let results: Vec<_> =
-                configs.iter().map(|&c| sim.evaluate_snippet(profile, c)).collect();
-            for observed in &results {
-                for target in &results {
-                    let f = candidate_features(
-                        sim.platform(),
-                        &observed.counters,
-                        observed.config,
-                        target.config,
-                    );
-                    // Batch fit: no forgetting at design time, otherwise only the
-                    // last ≈1/(1-λ) of the sweep would survive into deployment.
-                    self.power_model.update_retaining(&f, target.avg_power_w);
-                    self.time_model.update_retaining(&f, target.time_s);
-                }
-            }
-        }
+        let (power, time) = pretrain_candidate_models(sim, profiles);
+        self.install_pretrained_models(power, time);
+    }
+
+    /// Installs externally pretrained (batch-fitted, `λ = 1`) power and time
+    /// candidate models, wrapping them with this policy's configured runtime
+    /// forgetting behaviour.  Lets a process-wide artifact store pretrain the
+    /// models once and share clones across many policy instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either model's feature dimension is not
+    /// [`CANDIDATE_FEATURE_DIM`].
+    pub fn install_pretrained_models(
+        &mut self,
+        power_model: RecursiveLeastSquares,
+        time_model: RecursiveLeastSquares,
+    ) {
+        assert_eq!(power_model.input_dim(), CANDIDATE_FEATURE_DIM, "power model dimension");
+        assert_eq!(time_model.input_dim(), CANDIDATE_FEATURE_DIM, "time model dimension");
+        self.power_model = OnlineModel::from_pretrained(power_model, &self.config);
+        self.time_model = OnlineModel::from_pretrained(time_model, &self.config);
     }
 
     /// Current runtime statistics.
@@ -163,6 +258,21 @@ impl OnlineIlPolicy {
         self.config
     }
 
+    /// Predicted energy (joules) of a candidate given a precomputed feature
+    /// basis: power prediction times (per-kilo-instruction time prediction
+    /// scaled back to absolute seconds).
+    fn estimate_energy_with(
+        &self,
+        platform: &SocPlatform,
+        basis: &CandidateFeatureBasis,
+        candidate: DvfsConfig,
+    ) -> f64 {
+        let f = basis.features(platform, candidate);
+        let power = self.power_model.predict(&f).max(0.05);
+        let time = (self.time_model.predict(&f) * basis.kilo_instructions()).max(1e-4);
+        power * time
+    }
+
     /// Predicted energy (joules) of running the previously observed workload at the
     /// candidate configuration, according to the online models.
     pub fn estimate_energy(
@@ -172,10 +282,8 @@ impl OnlineIlPolicy {
         observed: DvfsConfig,
         candidate: DvfsConfig,
     ) -> f64 {
-        let f = candidate_features(platform, counters, observed, candidate);
-        let power = self.power_model.predict(&f).max(0.05);
-        let time = self.time_model.predict(&f).max(1e-4);
-        power * time
+        let basis = CandidateFeatureBasis::new(platform, counters, observed);
+        self.estimate_energy_with(platform, &basis, candidate)
     }
 
     fn policy_prediction(&self, platform: &SocPlatform, features: &[f64]) -> DvfsConfig {
@@ -209,14 +317,16 @@ impl DvfsPolicy for OnlineIlPolicy {
     fn decide(&mut self, platform: &SocPlatform, decision: PolicyDecision<'_>) -> DvfsConfig {
         let counters = decision.counters;
         let current = decision.current_config;
+        let basis = CandidateFeatureBasis::new(platform, counters, current);
 
         // 1. Update the online power/performance models with the snippet that just
-        //    executed under `current`.
+        //    executed under `current`.  The time model regresses time per
+        //    kilo-instruction so the fit is independent of snippet length.
         if counters.instructions_retired > 0.0 {
-            let observed = candidate_features(platform, counters, current, current);
+            let observed = basis.features(platform, current);
             self.power_model.update(&observed, counters.total_chip_power_w);
             if let Some(time_s) = self.last_time_s.take() {
-                self.time_model.update(&observed, time_s);
+                self.time_model.update(&observed, time_s / basis.kilo_instructions());
             }
         }
 
@@ -225,6 +335,8 @@ impl DvfsPolicy for OnlineIlPolicy {
         let proposal = self.policy_prediction(platform, &features);
 
         // 3. Runtime Oracle approximation over the local candidate neighbourhood.
+        //    The feature basis is shared across candidates and each candidate is
+        //    scored exactly once.
         let label = if counters.instructions_retired > 0.0
             && self.power_model.samples_seen() >= self.config.model_warmup
             && self.time_model.samples_seen() >= self.config.model_warmup
@@ -233,14 +345,16 @@ impl DvfsPolicy for OnlineIlPolicy {
             if !candidates.contains(&proposal) {
                 candidates.push(proposal);
             }
-            candidates
-                .into_iter()
-                .min_by(|&a, &b| {
-                    self.estimate_energy(platform, counters, current, a)
-                        .partial_cmp(&self.estimate_energy(platform, counters, current, b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .unwrap_or(proposal)
+            let mut best = proposal;
+            let mut best_energy = f64::INFINITY;
+            for &candidate in &candidates {
+                let energy = self.estimate_energy_with(platform, &basis, candidate);
+                if energy < best_energy {
+                    best = candidate;
+                    best_energy = energy;
+                }
+            }
+            best
         } else {
             proposal
         };
@@ -274,16 +388,46 @@ mod tests {
     use soclearn_soc_sim::{SnippetCounters, SocSimulator};
     use soclearn_workloads::{ApplicationSequence, BenchmarkSuite, SuiteKind};
 
+    /// Design-time state shared by the tests below (the artifact-store pattern
+    /// applied at unit-test scope): training profiles, the offline MLP policy
+    /// and the batch-pretrained candidate models, built once per test binary.
+    struct SharedTraining {
+        offline: OfflineIlPolicy,
+        power: RecursiveLeastSquares,
+        time: RecursiveLeastSquares,
+    }
+
+    fn shared_training(platform: &SocPlatform) -> &'static SharedTraining {
+        static CELL: std::sync::OnceLock<SharedTraining> = std::sync::OnceLock::new();
+        assert_eq!(*platform, SocPlatform::small(), "shared fixture is built for small()");
+        CELL.get_or_init(|| {
+            let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 21);
+            let seq = ApplicationSequence::from_benchmarks(suite.benchmarks().iter().take(4));
+            let profiles: Vec<_> = seq.snippets().iter().map(|s| s.profile.clone()).collect();
+            let mut sim = SocSimulator::new(platform.clone());
+            let demos = collect_demonstrations(&mut sim, &profiles, OracleObjective::Energy);
+            let offline = OfflineIlPolicy::train(platform, &demos, PolicyModelKind::Mlp);
+            let (power, time) =
+                pretrain_candidate_models(&SocSimulator::new(platform.clone()), &profiles);
+            SharedTraining { offline, power, time }
+        })
+    }
+
     fn trained_online_policy(platform: &SocPlatform, config: OnlineIlConfig) -> OnlineIlPolicy {
-        let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 21);
-        let seq = ApplicationSequence::from_benchmarks(suite.benchmarks().iter().take(4));
-        let profiles: Vec<_> = seq.snippets().iter().map(|s| s.profile.clone()).collect();
-        let mut sim = SocSimulator::new(platform.clone());
-        let demos = collect_demonstrations(&mut sim, &profiles, OracleObjective::Energy);
-        let offline = OfflineIlPolicy::train(platform, &demos, PolicyModelKind::Mlp);
-        let mut online = OnlineIlPolicy::from_offline(offline, config);
-        online.pretrain_models(&SocSimulator::new(platform.clone()), &profiles);
+        let shared = shared_training(platform);
+        let mut online = OnlineIlPolicy::from_offline(shared.offline.clone(), config);
+        online.install_pretrained_models(shared.power.clone(), shared.time.clone());
         online
+    }
+
+    /// Oracle run over [`unseen_profiles`], computed once per test binary.
+    fn unseen_oracle(platform: &SocPlatform) -> &'static OracleRun {
+        static CELL: std::sync::OnceLock<OracleRun> = std::sync::OnceLock::new();
+        assert_eq!(*platform, SocPlatform::small(), "shared fixture is built for small()");
+        CELL.get_or_init(|| {
+            let mut sim = SocSimulator::new(platform.clone());
+            OracleRun::execute(&mut sim, &unseen_profiles(), OracleObjective::Energy)
+        })
     }
 
     /// Runs a policy over a snippet sequence and returns (energy, per-step decisions).
@@ -322,13 +466,8 @@ mod tests {
         let platform = SocPlatform::small();
         let profiles = unseen_profiles();
 
-        // Frozen offline policy (tree) as the non-adaptive reference.
-        let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 21);
-        let seq = ApplicationSequence::from_benchmarks(suite.benchmarks().iter().take(4));
-        let train_profiles: Vec<_> = seq.snippets().iter().map(|s| s.profile.clone()).collect();
-        let mut sim = SocSimulator::new(platform.clone());
-        let demos = collect_demonstrations(&mut sim, &train_profiles, OracleObjective::Energy);
-        let mut frozen = OfflineIlPolicy::train(&platform, &demos, PolicyModelKind::Mlp);
+        // Frozen offline policy as the non-adaptive reference.
+        let mut frozen = shared_training(&platform).offline.clone();
 
         let mut online = trained_online_policy(
             &platform,
@@ -338,8 +477,7 @@ mod tests {
         let (frozen_energy, _) = run_policy(&platform, &mut frozen, &profiles);
         let (online_energy, _) = run_policy(&platform, &mut online, &profiles);
 
-        let mut oracle_sim = SocSimulator::new(platform.clone());
-        let oracle = OracleRun::execute(&mut oracle_sim, &profiles, OracleObjective::Energy);
+        let oracle = unseen_oracle(&platform);
 
         let frozen_ratio = frozen_energy / oracle.total_energy_j;
         let online_ratio = online_energy / oracle.total_energy_j;
@@ -364,16 +502,10 @@ mod tests {
         let profiles = unseen_profiles();
         let (_, online_decisions) = run_policy(&platform, &mut online, &profiles);
 
-        let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 21);
-        let seq = ApplicationSequence::from_benchmarks(suite.benchmarks().iter().take(4));
-        let train_profiles: Vec<_> = seq.snippets().iter().map(|s| s.profile.clone()).collect();
-        let mut sim = SocSimulator::new(platform.clone());
-        let demos = collect_demonstrations(&mut sim, &train_profiles, OracleObjective::Energy);
-        let mut frozen = OfflineIlPolicy::train(&platform, &demos, PolicyModelKind::Mlp);
+        let mut frozen = shared_training(&platform).offline.clone();
         let (_, frozen_decisions) = run_policy(&platform, &mut frozen, &profiles);
 
-        let mut oracle_sim = SocSimulator::new(platform.clone());
-        let oracle = OracleRun::execute(&mut oracle_sim, &profiles, OracleObjective::Energy);
+        let oracle = unseen_oracle(&platform);
 
         let accuracy = |decisions: &[DvfsConfig]| {
             decisions
@@ -394,6 +526,52 @@ mod tests {
             "adapted policy should usually match the Oracle ({online_acc:.2})"
         );
         assert!(online.stats().agreement_rate() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_forgetting_switch_tracks_the_oracle_too() {
+        let platform = SocPlatform::small();
+        let mut adaptive = trained_online_policy(
+            &platform,
+            OnlineIlConfig {
+                buffer_capacity: 20,
+                adaptive_forgetting: true,
+                ..OnlineIlConfig::default()
+            },
+        );
+        let profiles = unseen_profiles();
+        let (energy, _) = run_policy(&platform, &mut adaptive, &profiles);
+        let oracle = unseen_oracle(&platform);
+        let ratio = energy / oracle.total_energy_j;
+        assert!(
+            ratio < 1.25,
+            "adaptive-forgetting online IL should stay near the Oracle ({ratio:.3})"
+        );
+        assert!(adaptive.stats().policy_updates > 0);
+    }
+
+    #[test]
+    fn pretrained_models_can_be_shared_across_policies() {
+        // An artifact store pretrains once and installs clones; the result must
+        // match a policy that pretrained its own models.
+        let platform = SocPlatform::small();
+        let suite = BenchmarkSuite::generate(SuiteKind::MiBench, 21);
+        let seq = ApplicationSequence::from_benchmarks(suite.benchmarks().iter().take(4));
+        let profiles: Vec<_> = seq.snippets().iter().map(|s| s.profile.clone()).collect();
+        let mut sim = SocSimulator::new(platform.clone());
+        let demos = collect_demonstrations(&mut sim, &profiles, OracleObjective::Energy);
+        let offline = OfflineIlPolicy::train(&platform, &demos, PolicyModelKind::Mlp);
+
+        let config = OnlineIlConfig::default();
+        let mut direct = OnlineIlPolicy::from_offline(offline.clone(), config);
+        direct.pretrain_models(&SocSimulator::new(platform.clone()), &profiles);
+
+        let (power, time) =
+            pretrain_candidate_models(&SocSimulator::new(platform.clone()), &profiles);
+        let mut shared = OnlineIlPolicy::from_offline(offline, config);
+        shared.install_pretrained_models(power, time);
+
+        assert_eq!(direct, shared);
     }
 
     #[test]

@@ -59,6 +59,25 @@ impl RecursiveLeastSquares {
         self.lambda
     }
 
+    /// Returns the estimator with its runtime forgetting factor replaced,
+    /// keeping weights, covariance and sample count.
+    ///
+    /// Design-time bootstrapping batch-fits with `λ = 1`
+    /// ([`RecursiveLeastSquares::update_retaining`]), so the fitted state is
+    /// independent of the configured factor; this lets a shared artifact store
+    /// pretrain one estimator and hand out clones tuned to each policy's
+    /// runtime forgetting factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0, "forgetting factor must be in (0, 1]");
+        self.lambda = lambda;
+        self
+    }
+
     /// Resets the estimator to its initial state, keeping the dimensionality.
     pub fn reset(&mut self) {
         let dim = self.weights.len();
@@ -168,6 +187,36 @@ impl AdaptiveForgettingRls {
             target_ema: 1e-9,
             ema_alpha: 0.1,
         }
+    }
+
+    /// Wraps an already-fitted estimator (typically batch-pretrained with
+    /// `λ = 1` updates) in an adaptive-forgetting shell constrained to
+    /// `[lambda_min, lambda_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not `0 < lambda_min <= lambda_max <= 1`.
+    pub fn from_pretrained(inner: RecursiveLeastSquares, lambda_min: f64, lambda_max: f64) -> Self {
+        assert!(
+            lambda_min > 0.0 && lambda_min <= lambda_max && lambda_max <= 1.0,
+            "require 0 < lambda_min <= lambda_max <= 1"
+        );
+        Self {
+            inner,
+            lambda_min,
+            lambda_max,
+            current_lambda: lambda_max,
+            error_ema: 0.0,
+            target_ema: 1e-9,
+            ema_alpha: 0.1,
+        }
+    }
+
+    /// One update that does not discount past data (`λ = 1`) and does not move
+    /// the adaptive factor; the design-time counterpart of
+    /// [`RecursiveLeastSquares::update_retaining`].
+    pub fn update_retaining(&mut self, x: &[f64], y: f64) {
+        self.inner.update_retaining(x, y);
     }
 
     /// The forgetting factor used for the most recent update.
@@ -305,6 +354,32 @@ mod tests {
         rls.reset();
         assert_eq!(rls.samples_seen(), 0);
         assert!(rls.weights().iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn with_lambda_keeps_fitted_state() {
+        let mut rls = RecursiveLeastSquares::new(3, 1.0);
+        for (x, y) in stationary_stream(100) {
+            rls.update_retaining(&x, y);
+        }
+        let retuned = rls.clone().with_lambda(0.95);
+        assert_eq!(retuned.weights(), rls.weights());
+        assert_eq!(retuned.samples_seen(), rls.samples_seen());
+        assert_eq!(retuned.lambda(), 0.95);
+    }
+
+    #[test]
+    fn from_pretrained_predicts_like_the_inner_model() {
+        let mut rls = RecursiveLeastSquares::new(3, 1.0);
+        for (x, y) in stationary_stream(200) {
+            rls.update_retaining(&x, y);
+        }
+        let probe = [0.4, 0.2, 1.0];
+        let expected = rls.predict(&probe);
+        let adaptive = AdaptiveForgettingRls::from_pretrained(rls, 0.9, 0.99);
+        assert_eq!(adaptive.predict(&probe), expected);
+        assert_eq!(adaptive.current_lambda(), 0.99);
+        assert_eq!(adaptive.samples_seen(), 200);
     }
 
     #[test]

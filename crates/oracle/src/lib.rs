@@ -80,27 +80,45 @@ impl OracleSearch {
         self.objective
     }
 
+    /// Index of the best execution in `executions` under this objective,
+    /// breaking ties in favour of the earliest entry (matching the historical
+    /// first-best-wins sweep order).
+    ///
+    /// This is the ranking half of the Oracle search, split out so that batched
+    /// sweep results — e.g. cached ones from a runtime sweep engine — can be
+    /// ranked without re-evaluating the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `executions` is empty.
+    pub fn best_index(&self, executions: &[SnippetExecution]) -> usize {
+        assert!(!executions.is_empty(), "execution list must not be empty");
+        let mut best = 0;
+        let mut best_score = self.objective.score(&executions[0]);
+        for (i, execution) in executions.iter().enumerate().skip(1) {
+            let score = self.objective.score(execution);
+            if score < best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        best
+    }
+
     /// Evaluates every configuration of the platform for this snippet and returns
     /// the best one together with its (hypothetical) execution result.
+    ///
+    /// The sweep uses the simulator's batched
+    /// [`SocSimulator::evaluate_all_configs`] primitive, which hoists all
+    /// configuration-independent work out of the inner loop.
     pub fn best_config(
         &self,
         sim: &SocSimulator,
         profile: &SnippetProfile,
     ) -> (DvfsConfig, SnippetExecution) {
-        let mut best: Option<(DvfsConfig, SnippetExecution)> = None;
-        for config in sim.platform().configs() {
-            let execution = sim.evaluate_snippet(profile, config);
-            let better = match &best {
-                None => true,
-                Some((_, current)) => {
-                    self.objective.score(&execution) < self.objective.score(current)
-                }
-            };
-            if better {
-                best = Some((config, execution));
-            }
-        }
-        best.expect("platform always has at least one configuration")
+        let executions = sim.evaluate_all_configs(profile);
+        let best = self.best_index(&executions);
+        (executions[best].config, executions[best])
     }
 
     /// Like [`OracleSearch::best_config`] but restricted to a candidate list, which
@@ -117,20 +135,9 @@ impl OracleSearch {
         candidates: &[DvfsConfig],
     ) -> (DvfsConfig, SnippetExecution) {
         assert!(!candidates.is_empty(), "candidate list must not be empty");
-        let mut best: Option<(DvfsConfig, SnippetExecution)> = None;
-        for &config in candidates {
-            let execution = sim.evaluate_snippet(profile, config);
-            let better = match &best {
-                None => true,
-                Some((_, current)) => {
-                    self.objective.score(&execution) < self.objective.score(current)
-                }
-            };
-            if better {
-                best = Some((config, execution));
-            }
-        }
-        best.expect("candidate list is non-empty")
+        let executions = sim.evaluate_configs(profile, candidates);
+        let best = self.best_index(&executions);
+        (executions[best].config, executions[best])
     }
 }
 
@@ -162,8 +169,8 @@ impl OracleRun {
         let mut decisions = Vec::with_capacity(profiles.len());
         let mut executions = Vec::with_capacity(profiles.len());
         for profile in profiles {
-            let (best, _) = search.best_config(sim, profile);
-            let execution = sim.execute_snippet(profile, best);
+            let (best, execution) = search.best_config(sim, profile);
+            sim.commit_snippet(&execution);
             decisions.push(best);
             executions.push(execution);
         }
@@ -201,7 +208,7 @@ pub fn collect_demonstrations(
     let mut demonstrations = Vec::new();
     let mut previous: Option<SnippetExecution> = None;
     for profile in profiles {
-        let (best, _) = search.best_config(sim, profile);
+        let (best, execution) = search.best_config(sim, profile);
         if let Some(prev) = &previous {
             demonstrations.push(Demonstration {
                 features: prev.counters.normalized_features(),
@@ -209,7 +216,8 @@ pub fn collect_demonstrations(
                 action: best,
             });
         }
-        previous = Some(sim.execute_snippet(profile, best));
+        sim.commit_snippet(&execution);
+        previous = Some(execution);
     }
     demonstrations
 }

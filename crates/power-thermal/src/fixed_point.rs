@@ -62,8 +62,11 @@ pub struct FixedPointAnalysis {
     pub temperatures_c: Vec<f64>,
     /// Total power (workload + leakage) at the fixed point, W.
     pub total_power_w: f64,
-    /// Spectral radius of the temperature-update map's Jacobian at the fixed point.
-    /// Values below 1 indicate a stable (attracting) fixed point.
+    /// Spectral-radius estimate of the temperature-update map's Jacobian at the
+    /// fixed point.  Values below 1 indicate a stable (attracting) fixed point.
+    /// When the Jacobian's infinity norm (a cheap upper bound on the radius) is
+    /// already below 1 it is reported directly; otherwise the value comes from
+    /// power iteration.
     pub spectral_radius: f64,
     /// Number of fixed-point iterations performed.
     pub iterations: usize,
@@ -138,7 +141,13 @@ impl FixedPointAnalysis {
                 jac[i][j] = (mapped[i] - base[i]) / eps;
             }
         }
-        let spectral_radius = linalg::spectral_radius(&jac, 200);
+        // The infinity norm bounds the spectral radius from above, so when it is
+        // already below 1 the fixed point is provably stable and the power
+        // iteration can be skipped; otherwise the norm is inconclusive (it can
+        // exceed 1 for a stable map) and the iterative estimate decides.
+        let norm_bound = linalg::inf_norm(&jac);
+        let spectral_radius =
+            if norm_bound < 1.0 { norm_bound } else { linalg::spectral_radius(&jac, 200) };
         let total_power_w = power_of_temperature(&temps).iter().sum();
 
         Ok(Self { temperatures_c: temps, total_power_w, spectral_radius, iterations })

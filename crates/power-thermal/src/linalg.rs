@@ -56,7 +56,6 @@ pub(crate) fn mat_vec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
 
 /// Infinity norm of the matrix (maximum absolute row sum); an upper bound on the
 /// spectral radius used for the fixed-point stability criterion.
-#[allow(dead_code)]
 pub(crate) fn inf_norm(a: &[Vec<f64>]) -> f64 {
     a.iter().map(|row| row.iter().map(|v| v.abs()).sum::<f64>()).fold(0.0, f64::max)
 }

@@ -45,6 +45,18 @@ pub struct RlConfig {
     pub seed: u64,
 }
 
+impl RlConfig {
+    /// Returns the configuration with the exploration seed replaced.
+    ///
+    /// Serving harnesses that spawn one agent per user/worker use this to give
+    /// every agent an independent, reproducible exploration stream.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 impl Default for RlConfig {
     fn default() -> Self {
         Self {

@@ -1,0 +1,418 @@
+//! Multi-worker scenario driver: many independent users, one platform.
+//!
+//! The paper frames the learned policy as a *runtime* resource manager; this
+//! driver is the serving harness that stresses it like one.  Each scenario is
+//! one independent "user" — an [`ApplicationSequence`] executed on a private
+//! [`SocSimulator`] under a private policy instance — and a pool of
+//! `std::thread` workers drains the scenario queue concurrently.  All workers
+//! share one [`SweepCache`], so the Oracle reference runs that score
+//! policy-vs-oracle agreement deduplicate across users running the same
+//! applications.
+//!
+//! The driver aggregates serving telemetry: decision throughput
+//! (decisions/second of wall time), a per-decision policy-latency histogram,
+//! total simulated energy/time, per-worker breakdowns and the shared cache's
+//! hit statistics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use soclearn_oracle::OracleObjective;
+use soclearn_soc_sim::{DvfsPolicy, PolicyDecision, SnippetCounters, SocPlatform, SocSimulator};
+use soclearn_workloads::{ApplicationSequence, SnippetProfile};
+
+use crate::sweep::{SweepCache, SweepCacheStats, SweepEngine};
+
+/// One independent user: a named snippet sequence to serve end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (reported in telemetry breakdowns and error messages).
+    pub name: String,
+    /// The snippet stream the user executes.
+    pub profiles: Vec<SnippetProfile>,
+}
+
+impl ScenarioSpec {
+    /// Creates a scenario from raw profiles.
+    pub fn new(name: impl Into<String>, profiles: Vec<SnippetProfile>) -> Self {
+        Self { name: name.into(), profiles }
+    }
+
+    /// Creates a scenario from an application sequence.
+    pub fn from_sequence(name: impl Into<String>, sequence: &ApplicationSequence) -> Self {
+        Self::new(name, sequence.snippets().iter().map(|s| s.profile.clone()).collect())
+    }
+}
+
+/// Number of power-of-two latency buckets (1 ns up to ~1 s per decision).
+const LATENCY_BUCKETS: usize = 30;
+
+/// Power-of-two histogram of per-decision policy latencies.
+///
+/// Bucket `i` counts decisions whose latency was in `[2^i, 2^(i+1))`
+/// nanoseconds; the last bucket absorbs everything slower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; LATENCY_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    /// Records one decision latency.
+    pub fn record(&mut self, latency_ns: u64) {
+        let bucket = (u64::BITS - latency_ns.max(1).leading_zeros() - 1) as usize;
+        self.buckets[bucket.min(LATENCY_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum_ns += latency_ns;
+        self.max_ns = self.max_ns.max(latency_ns);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded decisions.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bound (bucket edge) of the latency at quantile `q ∈ [0, 1]`.
+    ///
+    /// The last bucket has no finite edge (it absorbs everything slower than
+    /// `2^29` ns), so quantiles landing there report the recorded maximum.
+    pub fn quantile_upper_bound_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return if i + 1 < LATENCY_BUCKETS { 1u64 << (i + 1) } else { self.max_ns };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Per-bucket counts, for rendering.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-worker slice of the aggregated telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerTelemetry {
+    /// Worker index in `0..workers`.
+    pub worker: usize,
+    /// Scenarios this worker served.
+    pub scenarios: usize,
+    /// Decisions this worker served.
+    pub decisions: usize,
+    /// Simulated energy over this worker's scenarios, joules.
+    pub energy_j: f64,
+    /// Simulated execution time over this worker's scenarios, seconds.
+    pub simulated_time_s: f64,
+    /// Decisions whose big-cluster level matched the Oracle reference.
+    pub oracle_matches: usize,
+}
+
+/// Aggregated serving telemetry of one [`ScenarioDriver::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverTelemetry {
+    /// Scenarios served.
+    pub scenarios: usize,
+    /// Total policy decisions served.
+    pub decisions: usize,
+    /// Total simulated energy, joules.
+    pub total_energy_j: f64,
+    /// Total simulated execution time, seconds.
+    pub simulated_time_s: f64,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_seconds: f64,
+    /// Serving throughput: decisions per wall-clock second.
+    pub decisions_per_second: f64,
+    /// Per-decision policy latency distribution.
+    pub latency: LatencyHistogram,
+    /// Fraction of decisions whose big-cluster level matched the Oracle
+    /// reference; `None` when the driver ran without an Oracle reference.
+    pub oracle_agreement: Option<f64>,
+    /// Hit/miss statistics of the shared sweep cache.
+    pub cache: SweepCacheStats,
+    /// Per-worker breakdowns, indexed by worker.
+    pub workers: Vec<WorkerTelemetry>,
+}
+
+/// Runs many independent scenario "users" concurrently on a worker pool.
+pub struct ScenarioDriver {
+    platform: SocPlatform,
+    workers: usize,
+    cache: Arc<SweepCache>,
+    oracle_reference: Option<OracleObjective>,
+}
+
+impl ScenarioDriver {
+    /// Creates a driver with `workers` threads serving `platform`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(platform: SocPlatform, workers: usize) -> Self {
+        assert!(workers > 0, "driver needs at least one worker");
+        Self { platform, workers, cache: Arc::new(SweepCache::new()), oracle_reference: None }
+    }
+
+    /// Scores every decision against an Oracle run of the same scenario under
+    /// `objective` (sweeps shared through the driver's cache, so identical
+    /// scenarios across users are scored almost for free).
+    #[must_use]
+    pub fn with_oracle_reference(mut self, objective: OracleObjective) -> Self {
+        self.oracle_reference = Some(objective);
+        self
+    }
+
+    /// Shares an external sweep cache (e.g. one owned by an artifact store).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SweepCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The shared sweep cache.
+    pub fn cache(&self) -> &Arc<SweepCache> {
+        &self.cache
+    }
+
+    /// Serves every scenario to completion and returns the aggregated
+    /// telemetry.  `make_policy` is called once per scenario (from the worker
+    /// thread that claimed it) with the scenario index and spec, so every user
+    /// gets an independent policy instance.
+    pub fn run<F>(&self, scenarios: &[ScenarioSpec], make_policy: F) -> DriverTelemetry
+    where
+        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
+        let started = Instant::now();
+        let next = AtomicUsize::new(0);
+        let mut worker_slots: Vec<(WorkerTelemetry, LatencyHistogram)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.workers)
+                    .map(|worker| {
+                        let next = &next;
+                        let make_policy = &make_policy;
+                        scope.spawn(move || self.serve(worker, scenarios, next, make_policy))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("driver worker panicked")).collect()
+            });
+        let wall_seconds = started.elapsed().as_secs_f64();
+
+        worker_slots.sort_by_key(|(w, _)| w.worker);
+        let mut latency = LatencyHistogram::new();
+        let mut workers = Vec::with_capacity(worker_slots.len());
+        for (telemetry, histogram) in worker_slots {
+            latency.merge(&histogram);
+            workers.push(telemetry);
+        }
+        let decisions: usize = workers.iter().map(|w| w.decisions).sum();
+        let matches: usize = workers.iter().map(|w| w.oracle_matches).sum();
+        DriverTelemetry {
+            scenarios: workers.iter().map(|w| w.scenarios).sum(),
+            decisions,
+            total_energy_j: workers.iter().map(|w| w.energy_j).sum(),
+            simulated_time_s: workers.iter().map(|w| w.simulated_time_s).sum(),
+            wall_seconds,
+            decisions_per_second: decisions as f64 / wall_seconds.max(1e-9),
+            latency,
+            oracle_agreement: self.oracle_reference.map(|_| {
+                if decisions == 0 {
+                    0.0
+                } else {
+                    matches as f64 / decisions as f64
+                }
+            }),
+            cache: self.cache.stats(),
+            workers,
+        }
+    }
+
+    /// Worker loop: claim scenarios until the queue drains.
+    fn serve<F>(
+        &self,
+        worker: usize,
+        scenarios: &[ScenarioSpec],
+        next: &AtomicUsize,
+        make_policy: &F,
+    ) -> (WorkerTelemetry, LatencyHistogram)
+    where
+        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
+        let mut telemetry = WorkerTelemetry {
+            worker,
+            scenarios: 0,
+            decisions: 0,
+            energy_j: 0.0,
+            simulated_time_s: 0.0,
+            oracle_matches: 0,
+        };
+        let mut latency = LatencyHistogram::new();
+        let mut oracle_engine = self
+            .oracle_reference
+            .map(|_| SweepEngine::with_cache(self.platform.clone(), Arc::clone(&self.cache)));
+
+        loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            let Some(scenario) = scenarios.get(index) else { break };
+            let mut policy = make_policy(index, scenario);
+
+            let oracle_decisions = match (&mut oracle_engine, self.oracle_reference) {
+                (Some(engine), Some(objective)) => {
+                    engine.reset();
+                    Some(engine.oracle_run(&scenario.profiles, objective).decisions)
+                }
+                _ => None,
+            };
+
+            let mut sim = SocSimulator::new(self.platform.clone());
+            let mut counters = SnippetCounters::default();
+            let mut config = self.platform.max_config();
+            for (i, profile) in scenario.profiles.iter().enumerate() {
+                let decision_started = Instant::now();
+                config = policy.decide(&self.platform, PolicyDecision::new(&counters, config, i));
+                latency.record(decision_started.elapsed().as_nanos() as u64);
+                let result = sim.execute_snippet(profile, config);
+                policy.observe_outcome(result.energy_j, result.time_s);
+                counters = result.counters;
+                telemetry.decisions += 1;
+                telemetry.energy_j += result.energy_j;
+                telemetry.simulated_time_s += result.time_s;
+                if let Some(reference) = &oracle_decisions {
+                    if reference[i].big_idx == config.big_idx {
+                        telemetry.oracle_matches += 1;
+                    }
+                }
+            }
+            telemetry.scenarios += 1;
+        }
+        (telemetry, latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soclearn_governors::OndemandGovernor;
+    use soclearn_oracle::OraclePolicy;
+
+    fn scenarios(n: usize) -> Vec<ScenarioSpec> {
+        (0..n)
+            .map(|i| {
+                ScenarioSpec::new(
+                    format!("user-{i}"),
+                    vec![
+                        SnippetProfile::compute_bound(50_000_000),
+                        SnippetProfile::memory_bound(50_000_000),
+                        SnippetProfile::compute_bound(50_000_000),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn driver_serves_every_scenario_and_decision() {
+        let platform = SocPlatform::small();
+        let driver = ScenarioDriver::new(platform.clone(), 4);
+        let specs = scenarios(8);
+        let telemetry = driver.run(&specs, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        assert_eq!(telemetry.scenarios, 8);
+        assert_eq!(telemetry.decisions, 24);
+        assert_eq!(telemetry.latency.count(), 24);
+        assert!(telemetry.total_energy_j > 0.0);
+        assert!(telemetry.simulated_time_s > 0.0);
+        assert!(telemetry.decisions_per_second > 0.0);
+        assert!(telemetry.oracle_agreement.is_none());
+        assert_eq!(telemetry.workers.len(), 4);
+        let per_worker: usize = telemetry.workers.iter().map(|w| w.decisions).sum();
+        assert_eq!(per_worker, telemetry.decisions);
+    }
+
+    #[test]
+    fn identical_users_share_oracle_sweeps_through_the_cache() {
+        let platform = SocPlatform::small();
+        let driver =
+            ScenarioDriver::new(platform.clone(), 2).with_oracle_reference(OracleObjective::Energy);
+        let specs = scenarios(6); // six identical users
+        let telemetry = driver.run(&specs, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        let agreement = telemetry.oracle_agreement.expect("reference was requested");
+        assert!((0.0..=1.0).contains(&agreement));
+        // Six identical scenario oracle runs: the first misses per snippet, the
+        // other five hit.
+        assert!(telemetry.cache.hits > 0, "identical users must share sweeps");
+    }
+
+    #[test]
+    fn oracle_replay_policy_scores_perfect_agreement() {
+        let platform = SocPlatform::small();
+        let specs = scenarios(3);
+        let driver =
+            ScenarioDriver::new(platform.clone(), 4).with_oracle_reference(OracleObjective::Energy);
+        let telemetry = driver.run(&specs, |_, spec| {
+            let mut engine = SweepEngine::new(platform.clone());
+            let run = engine.oracle_run(&spec.profiles, OracleObjective::Energy);
+            Box::new(OraclePolicy::from_run(&run, platform.min_config()))
+        });
+        assert_eq!(telemetry.oracle_agreement, Some(1.0));
+    }
+
+    #[test]
+    fn latency_histogram_is_well_formed() {
+        let mut h = LatencyHistogram::new();
+        for ns in [1u64, 2, 3, 1000, 1_000_000, 0] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 6);
+        assert!(h.mean_ns() > 0.0);
+        assert_eq!(h.max_ns(), 1_000_000);
+        assert!(h.quantile_upper_bound_ns(0.5) <= h.quantile_upper_bound_ns(1.0));
+        let mut other = LatencyHistogram::new();
+        other.record(7);
+        other.merge(&h);
+        assert_eq!(other.count(), 7);
+        assert_eq!(other.buckets().iter().sum::<u64>(), 7);
+    }
+}

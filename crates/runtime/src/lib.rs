@@ -1,0 +1,54 @@
+//! `soclearn-runtime` — batched, cached policy-serving runtime.
+//!
+//! The DAC 2020 paper positions online imitation learning as a *runtime*
+//! resource manager.  This crate provides the serving infrastructure that
+//! turns the one-off experiment functions of the reproduction into a
+//! many-scenario runtime system, in three layers:
+//!
+//! 1. [`ArtifactStore`] — a process-wide memoised store of design-time
+//!    [`TrainingArtifacts`] (Oracle demonstrations, offline policies,
+//!    pretrained online models) keyed by *(platform fingerprint,
+//!    [`ExperimentScale`])*, so the expensive design-time pipeline runs once
+//!    per process no matter how many experiments, tests or serving lanes ask.
+//! 2. [`SweepEngine`] / [`SweepCache`] — the batched full-configuration sweep
+//!    primitive with an LRU memo keyed by exact snippet feature bits and
+//!    thermal state.  Cached sweeps are bit-identical to per-call
+//!    `evaluate_snippet` loops; Oracle search, candidate ranking and baseline
+//!    normalisation all route through it.
+//! 3. [`ScenarioDriver`] — a multi-worker serving harness that executes many
+//!    independent application-sequence "users" concurrently and aggregates
+//!    serving telemetry: decision throughput, per-decision latency histogram,
+//!    energy, policy-vs-oracle agreement and cache statistics.
+//!
+//! ```
+//! use soclearn_runtime::{ExperimentScale, ScenarioDriver, ScenarioSpec, shared_artifacts};
+//! use soclearn_soc_sim::SocPlatform;
+//! use soclearn_imitation::OnlineIlConfig;
+//!
+//! let platform = SocPlatform::small();
+//! let artifacts = shared_artifacts(&platform, ExperimentScale::Quick);
+//! let scenario = ScenarioSpec::new("user-0", artifacts.training_profiles.clone());
+//! let driver = ScenarioDriver::new(platform, 2).with_cache(artifacts.sweep_cache().clone());
+//! let telemetry = driver.run(&[scenario], |_, _| {
+//!     Box::new(artifacts.online_policy(OnlineIlConfig::default()))
+//! });
+//! assert!(telemetry.decisions > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod driver;
+pub mod scale;
+pub mod sweep;
+
+pub use artifacts::{
+    profiles_of, scaled_suite, sequence_of, shared_artifacts, ArtifactStore, TrainingArtifacts,
+    EXPERIMENT_SEED,
+};
+pub use driver::{
+    DriverTelemetry, LatencyHistogram, ScenarioDriver, ScenarioSpec, WorkerTelemetry,
+};
+pub use scale::ExperimentScale;
+pub use sweep::{SweepCache, SweepCacheStats, SweepEngine};

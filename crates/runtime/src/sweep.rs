@@ -1,0 +1,522 @@
+//! Batched, memoised full-configuration sweeps.
+//!
+//! Every policy-serving flow in this repository ultimately asks the same
+//! question — *"what would this snippet do at each supported DVFS
+//! configuration?"* — and the seed implementation answered it one
+//! `evaluate_snippet` call at a time, recomputing all per-snippet work once
+//! per configuration.  This module provides the serving-grade primitive:
+//!
+//! * [`SweepEngine`] evaluates a snippet against **all** candidate
+//!   configurations in one batched call
+//!   ([`soclearn_soc_sim::SocSimulator::evaluate_all_configs`]), hoisting the
+//!   per-snippet work out of the inner loop, and
+//! * [`SweepCache`] memoises whole sweep results behind an LRU keyed by the
+//!   snippet's exact feature bits, the thermal state and the platform, so
+//!   repeated snippets (many users running the same applications, experiments
+//!   re-normalising against the same Oracle runs) cost one lock acquisition
+//!   instead of a 40-configuration model evaluation.
+//!
+//! Cached results are **bit-identical** to uncached per-call evaluation: the
+//! default key is the exact bit pattern of every profile field plus both
+//! cluster temperatures, so a hit can only occur for an evaluation that would
+//! have produced the very same floats.  An optional quantisation knob widens
+//! the key buckets for serving scenarios that prefer hit rate over exactness.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use soclearn_oracle::{Demonstration, OracleObjective, OracleRun, OracleSearch};
+use soclearn_soc_sim::{DvfsConfig, SnippetExecution, SocPlatform, SocSimulator};
+use soclearn_workloads::{SnippetPhase, SnippetProfile};
+
+/// Number of packed key words describing one snippet profile.
+const PROFILE_KEY_WORDS: usize = 9;
+
+/// Exact (or quantised) identity of one sweep request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SweepKey {
+    /// Registry id of the platform the sweep ran on.
+    platform_id: u32,
+    /// Bit patterns of every profile field.
+    profile: [u64; PROFILE_KEY_WORDS],
+    /// Bit patterns of the big and LITTLE cluster temperatures.
+    temps: [u64; 2],
+}
+
+fn phase_code(phase: SnippetPhase) -> u64 {
+    match phase {
+        SnippetPhase::Compute => 0,
+        SnippetPhase::Memory => 1,
+        SnippetPhase::Branchy => 2,
+        SnippetPhase::Mixed => 3,
+    }
+}
+
+/// Exact bit-pattern identity of a snippet profile, used by the artifact
+/// store's Oracle-run memo (and, quantised, by the sweep cache key).
+pub(crate) fn profile_bits(profile: &SnippetProfile) -> [u64; PROFILE_KEY_WORDS] {
+    [
+        profile.instructions,
+        phase_code(profile.phase),
+        profile.memory_access_fraction.to_bits(),
+        profile.l2_mpki.to_bits(),
+        profile.external_memory_fraction.to_bits(),
+        profile.branch_misprediction_pki.to_bits(),
+        profile.ilp.to_bits(),
+        u64::from(profile.thread_count),
+        profile.parallel_fraction.to_bits(),
+    ]
+}
+
+/// Hit/miss counters of a [`SweepCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to evaluate the simulator.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl SweepCacheStats {
+    /// Fraction of lookups answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SweepCacheInner {
+    /// Sweep results plus the logical timestamp of their last use.
+    entries: HashMap<SweepKey, (u64, Arc<Vec<SnippetExecution>>)>,
+    /// Recency index: last-use tick → key.  Ticks are unique (allocated under
+    /// the lock), so the first entry is always the least recently used and
+    /// eviction is `O(log n)` instead of a full map scan.
+    order: BTreeMap<u64, SweepKey>,
+    /// Registered platform fingerprints; index = platform id.
+    platforms: Vec<String>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Thread-safe LRU memo of full-configuration sweep results, shareable between
+/// many [`SweepEngine`]s (and therefore many worker threads) via `Arc`.
+#[derive(Debug)]
+pub struct SweepCache {
+    inner: Mutex<SweepCacheInner>,
+    capacity: usize,
+    /// Number of low mantissa bits dropped from every `f64` in the key.
+    quantize_bits: u32,
+}
+
+impl SweepCache {
+    /// Default number of resident sweeps (a sweep for the Odroid-class platform
+    /// is 40 [`SnippetExecution`]s, ≈ 6 KB).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a cache with the default capacity and **exact** keys.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an exact-key cache bounded to `capacity` resident sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_quantization(capacity, 0)
+    }
+
+    /// Creates a cache whose keys drop the lowest `quantize_bits` mantissa bits
+    /// of every floating-point feature (profile fields and temperatures).
+    ///
+    /// `quantize_bits = 0` keeps keys exact, which guarantees cached results
+    /// are bit-identical to uncached evaluation.  Positive values trade that
+    /// guarantee for a higher hit rate: snippets whose features differ only in
+    /// the dropped bits share one sweep result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `quantize_bits >= 52` (the full `f64`
+    /// mantissa).
+    pub fn with_quantization(capacity: usize, quantize_bits: u32) -> Self {
+        assert!(capacity > 0, "sweep cache capacity must be positive");
+        assert!(quantize_bits < 52, "cannot drop the entire f64 mantissa");
+        Self { inner: Mutex::new(SweepCacheInner::default()), capacity, quantize_bits }
+    }
+
+    /// Current hit/miss statistics.
+    pub fn stats(&self) -> SweepCacheStats {
+        let inner = self.inner.lock().expect("sweep cache poisoned");
+        SweepCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+        }
+    }
+
+    /// Drops every cached sweep (statistics are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("sweep cache poisoned");
+        inner.entries.clear();
+        inner.order.clear();
+    }
+
+    fn quantize(&self, value: f64) -> u64 {
+        value.to_bits() & (!0u64 << self.quantize_bits)
+    }
+
+    /// Registers (or looks up) a platform and returns its stable id.
+    fn platform_id(&self, platform: &SocPlatform) -> u32 {
+        let fingerprint = serde_json::to_string(platform).expect("platform serialises");
+        let mut inner = self.inner.lock().expect("sweep cache poisoned");
+        if let Some(idx) = inner.platforms.iter().position(|p| *p == fingerprint) {
+            idx as u32
+        } else {
+            inner.platforms.push(fingerprint);
+            (inner.platforms.len() - 1) as u32
+        }
+    }
+
+    fn key(&self, platform_id: u32, profile: &SnippetProfile, sim: &SocSimulator) -> SweepKey {
+        let mut bits = profile_bits(profile);
+        // Quantisation applies to the floating-point features only (indices of
+        // the f64 fields within `profile_bits`).
+        for idx in [2usize, 3, 4, 5, 6, 8] {
+            bits[idx] &= !0u64 << self.quantize_bits;
+        }
+        SweepKey {
+            platform_id,
+            profile: bits,
+            temps: [
+                self.quantize(sim.big_temperature_c()),
+                self.quantize(sim.little_temperature_c()),
+            ],
+        }
+    }
+
+    /// Returns the cached sweep for `key`, or evaluates `compute` and caches
+    /// its result, evicting the least-recently-used entry when full.
+    fn get_or_compute<F>(&self, key: SweepKey, compute: F) -> Arc<Vec<SnippetExecution>>
+    where
+        F: FnOnce() -> Vec<SnippetExecution>,
+    {
+        {
+            let mut guard = self.inner.lock().expect("sweep cache poisoned");
+            let inner = &mut *guard;
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                let old_tick = entry.0;
+                entry.0 = tick;
+                let sweep = Arc::clone(&entry.1);
+                inner.order.remove(&old_tick);
+                inner.order.insert(tick, key);
+                inner.hits += 1;
+                return sweep;
+            }
+            inner.misses += 1;
+        }
+        // Evaluate outside the lock: a miss must not serialise other workers.
+        let sweep = Arc::new(compute());
+        let mut guard = self.inner.lock().expect("sweep cache poisoned");
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                // A racing worker inserted the same key while we evaluated;
+                // keep its (identical) result resident and refresh recency.
+                let old_tick = occupied.get().0;
+                occupied.get_mut().0 = tick;
+                inner.order.remove(&old_tick);
+                inner.order.insert(tick, key);
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert((tick, Arc::clone(&sweep)));
+                inner.order.insert(tick, key);
+                if inner.entries.len() > self.capacity {
+                    // Evict the least recently used entry (smallest tick, and
+                    // never the one just inserted since its tick is newest).
+                    if let Some((_, oldest_key)) = inner.order.pop_first() {
+                        inner.entries.remove(&oldest_key);
+                        inner.evictions += 1;
+                    }
+                }
+            }
+        }
+        sweep
+    }
+}
+
+impl Default for SweepCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A [`SocSimulator`] wrapped with batched, memoised full-configuration sweeps.
+///
+/// The engine owns the (mutable, thermally evolving) simulator of one serving
+/// lane; the cache behind it may be private or shared across lanes.  All
+/// evaluation goes through [`SweepEngine::sweep`], so any snippet the process
+/// has already swept at the same thermal state is answered from memory with
+/// results bit-identical to fresh evaluation.
+#[derive(Debug)]
+pub struct SweepEngine {
+    sim: SocSimulator,
+    cache: Arc<SweepCache>,
+    platform_id: u32,
+}
+
+impl SweepEngine {
+    /// Creates an engine with a private cache.
+    pub fn new(platform: SocPlatform) -> Self {
+        Self::with_cache(platform, Arc::new(SweepCache::new()))
+    }
+
+    /// Creates an engine backed by a shared cache.
+    pub fn with_cache(platform: SocPlatform, cache: Arc<SweepCache>) -> Self {
+        let platform_id = cache.platform_id(&platform);
+        Self { sim: SocSimulator::new(platform), cache, platform_id }
+    }
+
+    /// The underlying simulator (thermal state, accumulated energy/time).
+    pub fn sim(&self) -> &SocSimulator {
+        &self.sim
+    }
+
+    /// The platform being served.
+    pub fn platform(&self) -> &SocPlatform {
+        self.sim.platform()
+    }
+
+    /// The cache backing this engine.
+    pub fn cache(&self) -> &Arc<SweepCache> {
+        &self.cache
+    }
+
+    /// Resets the simulator (thermal state and accumulators), keeping the cache.
+    pub fn reset(&mut self) {
+        self.sim.reset();
+    }
+
+    /// Evaluates the snippet at **every** platform configuration (in
+    /// [`SocPlatform::configs`] order), served from the cache when possible.
+    pub fn sweep(&self, profile: &SnippetProfile) -> Arc<Vec<SnippetExecution>> {
+        let key = self.cache.key(self.platform_id, profile, &self.sim);
+        let sim = &self.sim;
+        self.cache.get_or_compute(key, || sim.evaluate_all_configs(profile))
+    }
+
+    /// Sweeps the snippet and returns the best configuration under `objective`
+    /// together with its execution, without committing anything.
+    pub fn best(
+        &self,
+        objective: OracleObjective,
+        profile: &SnippetProfile,
+    ) -> (DvfsConfig, SnippetExecution) {
+        let sweep = self.sweep(profile);
+        let best = OracleSearch::new(objective).best_index(&sweep);
+        (sweep[best].config, sweep[best])
+    }
+
+    /// Executes the snippet at `config`: serves the evaluation from the sweep
+    /// cache and commits it (energy, time, thermal state) to the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid for the platform.
+    pub fn execute(&mut self, profile: &SnippetProfile, config: DvfsConfig) -> SnippetExecution {
+        let index = self.platform().config_index(config);
+        let sweep = self.sweep(profile);
+        let execution = sweep[index];
+        self.sim.commit_snippet(&execution);
+        execution
+    }
+
+    /// Oracle execution of a snippet sequence through the cache; equivalent to
+    /// [`OracleRun::execute`] on a fresh simulator but with every sweep
+    /// memoised, so re-running the same sequence (the common case when many
+    /// experiments normalise against the same Oracle) is almost free.
+    pub fn oracle_run(
+        &mut self,
+        profiles: &[SnippetProfile],
+        objective: OracleObjective,
+    ) -> OracleRun {
+        let mut decisions = Vec::with_capacity(profiles.len());
+        let mut executions = Vec::with_capacity(profiles.len());
+        for profile in profiles {
+            let (best, execution) = self.best(objective, profile);
+            self.sim.commit_snippet(&execution);
+            decisions.push(best);
+            executions.push(execution);
+        }
+        let total_energy_j = executions.iter().map(|e| e.energy_j).sum();
+        let total_time_s = executions.iter().map(|e| e.time_s).sum();
+        OracleRun { objective, decisions, executions, total_energy_j, total_time_s }
+    }
+
+    /// Demonstration collection through the cache; equivalent to
+    /// [`soclearn_oracle::collect_demonstrations`] on a fresh simulator.
+    pub fn collect_demonstrations(
+        &mut self,
+        profiles: &[SnippetProfile],
+        objective: OracleObjective,
+    ) -> Vec<Demonstration> {
+        let mut demonstrations = Vec::new();
+        let mut previous: Option<SnippetExecution> = None;
+        for profile in profiles {
+            let (best, execution) = self.best(objective, profile);
+            if let Some(prev) = &previous {
+                demonstrations.push(Demonstration {
+                    features: prev.counters.normalized_features(),
+                    previous_config: prev.config,
+                    action: best,
+                });
+            }
+            self.sim.commit_snippet(&execution);
+            previous = Some(execution);
+        }
+        demonstrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> Vec<SnippetProfile> {
+        vec![
+            SnippetProfile::compute_bound(100_000_000),
+            SnippetProfile::memory_bound(100_000_000),
+            SnippetProfile::compute_bound(50_000_000),
+        ]
+    }
+
+    #[test]
+    fn cached_sweeps_are_bit_identical_to_uncached_evaluation() {
+        let platform = SocPlatform::small();
+        let engine = SweepEngine::new(platform.clone());
+        let sim = SocSimulator::new(platform.clone());
+        for profile in &profiles() {
+            for _ in 0..2 {
+                let sweep = engine.sweep(profile);
+                for (execution, config) in sweep.iter().zip(platform.configs()) {
+                    let fresh = sim.evaluate_snippet(profile, config);
+                    assert_eq!(*execution, fresh);
+                    assert_eq!(execution.energy_j.to_bits(), fresh.energy_j.to_bits());
+                    assert_eq!(execution.time_s.to_bits(), fresh.time_s.to_bits());
+                }
+            }
+        }
+        let stats = engine.cache().stats();
+        assert_eq!(stats.misses, 3, "one miss per distinct profile");
+        assert_eq!(stats.hits, 3, "one hit per repeated sweep");
+        assert!(stats.hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn thermal_state_is_part_of_the_key() {
+        let platform = SocPlatform::small();
+        let mut engine = SweepEngine::new(platform.clone());
+        let profile = SnippetProfile::compute_bound(100_000_000);
+        let cold = engine.sweep(&profile);
+        // Heat the chip; the same snippet must now be re-evaluated, not served
+        // from the cold-state entry.
+        for _ in 0..20 {
+            engine.execute(&profile, platform.max_config());
+        }
+        let hot = engine.sweep(&profile);
+        assert!(hot[0].energy_j != cold[0].energy_j, "leakage must reflect the hotter die");
+        assert!(engine.cache().stats().misses >= 2);
+    }
+
+    #[test]
+    fn oracle_run_through_the_engine_matches_the_reference() {
+        let platform = SocPlatform::small();
+        let seq = profiles();
+        let mut reference_sim = SocSimulator::new(platform.clone());
+        let reference = OracleRun::execute(&mut reference_sim, &seq, OracleObjective::Energy);
+
+        let mut engine = SweepEngine::new(platform.clone());
+        let first = engine.oracle_run(&seq, OracleObjective::Energy);
+        engine.reset();
+        let second = engine.oracle_run(&seq, OracleObjective::Energy);
+
+        assert_eq!(first, reference);
+        assert_eq!(second, reference, "cache-served rerun must be bit-identical");
+        let stats = engine.cache().stats();
+        assert!(stats.hits >= seq.len() as u64, "second run should be served from cache");
+    }
+
+    #[test]
+    fn demonstrations_through_the_engine_match_the_reference() {
+        let platform = SocPlatform::small();
+        let seq = profiles();
+        let mut reference_sim = SocSimulator::new(platform.clone());
+        let reference = soclearn_oracle::collect_demonstrations(
+            &mut reference_sim,
+            &seq,
+            OracleObjective::Energy,
+        );
+        let mut engine = SweepEngine::new(platform);
+        let via_engine = engine.collect_demonstrations(&seq, OracleObjective::Energy);
+        assert_eq!(via_engine, reference);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let platform = SocPlatform::small();
+        let cache = Arc::new(SweepCache::with_capacity(2));
+        let engine = SweepEngine::with_cache(platform, Arc::clone(&cache));
+        for instructions in [1_000_000u64, 2_000_000, 3_000_000, 4_000_000] {
+            let _ = engine.sweep(&SnippetProfile::compute_bound(instructions));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn quantised_keys_widen_buckets() {
+        let platform = SocPlatform::small();
+        let cache = Arc::new(SweepCache::with_quantization(64, 40));
+        let engine = SweepEngine::with_cache(platform, Arc::clone(&cache));
+        let a = SnippetProfile::compute_bound(100_000_000);
+        let mut b = a.clone();
+        b.ilp += 1e-9; // differs only far below the kept precision
+        let _ = engine.sweep(&a);
+        let _ = engine.sweep(&b);
+        assert_eq!(
+            cache.stats().hits,
+            1,
+            "quantised cache should coalesce near-identical snippets"
+        );
+    }
+
+    #[test]
+    fn distinct_platforms_do_not_share_entries() {
+        let cache = Arc::new(SweepCache::new());
+        let small = SweepEngine::with_cache(SocPlatform::small(), Arc::clone(&cache));
+        let full = SweepEngine::with_cache(SocPlatform::odroid_xu3(), Arc::clone(&cache));
+        let profile = SnippetProfile::compute_bound(100_000_000);
+        let a = small.sweep(&profile);
+        let b = full.sweep(&profile);
+        assert_eq!(cache.stats().misses, 2);
+        assert_ne!(a.len(), b.len());
+    }
+}

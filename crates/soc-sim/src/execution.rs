@@ -54,6 +54,53 @@ impl SnippetExecution {
     }
 }
 
+/// Configuration-independent quantities of one snippet at the current thermal
+/// state, hoisted out of the per-configuration evaluation so that a full-sweep
+/// evaluation ([`SocSimulator::evaluate_configs`]) computes them once instead
+/// of once per configuration.
+///
+/// Every field is produced by exactly the floating-point expression the
+/// monolithic evaluation used, so batched and per-call results are
+/// bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SnippetInvariants {
+    /// `base_cpi + l2_stall_cpi` (the first two CPI terms, already summed).
+    base_plus_l2_cpi: f64,
+    /// Branch misprediction CPI term.
+    branch_cpi: f64,
+    /// DRAM stall CPI per Hz of big-cluster frequency; multiplied by `f_big`
+    /// and the exposure factor per configuration.
+    dram_stall_coeff: f64,
+    /// Application instruction count as f64.
+    app_instructions: f64,
+    /// OS/background instructions executed on the LITTLE cluster.
+    os_instructions: f64,
+    /// Threads scheduled on the big cluster.
+    threads_on_big: u32,
+    /// `threads_on_big / cores`, the big-cluster switching-capacity fraction.
+    thread_frac: f64,
+    /// `1 / cores`, the LITTLE-cluster single-thread capacity fraction.
+    little_frac: f64,
+    /// Amdahl speedup at `threads_on_big`.
+    speedup: f64,
+    /// Big-cluster temperature when the snippet starts, °C.
+    temp_big: f64,
+    /// LITTLE-cluster temperature when the snippet starts, °C.
+    temp_little: f64,
+    /// Total external DRAM requests of the snippet.
+    external_requests: f64,
+    /// Energy of the snippet's DRAM traffic, joules.
+    dram_energy_j: f64,
+    /// Total instructions retired (application + OS background).
+    instructions_retired: f64,
+    /// Branch mispredictions per active big core.
+    branch_mispredictions_per_core: f64,
+    /// Total L2 cache misses.
+    l2_cache_misses: f64,
+    /// Total data-memory accesses.
+    data_memory_accesses: f64,
+}
+
 /// Analytical simulator of a big.LITTLE SoC executing snippet workloads.
 ///
 /// The simulator is deterministic: executing the same snippet sequence at the
@@ -118,49 +165,66 @@ impl SocSimulator {
         self.snippets_executed = 0;
     }
 
-    /// Evaluates the snippet at the configuration **without** committing thermal
-    /// state or accumulating energy — this is the "what would happen" primitive
-    /// that Oracle construction and the runtime candidate evaluation use.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid for the platform.
-    pub fn evaluate_snippet(
-        &self,
-        profile: &SnippetProfile,
-        config: DvfsConfig,
-    ) -> SnippetExecution {
-        assert!(self.platform.is_valid(config), "invalid DVFS configuration {config}");
-        let f_big = self.platform.frequency(ClusterKind::Big, config);
-        let f_little = self.platform.frequency(ClusterKind::Little, config);
+    /// Computes every configuration-independent quantity of the snippet at the
+    /// current thermal state.  Kept in exact operation-order correspondence
+    /// with [`SocSimulator::evaluate_with`] so that per-call and batched
+    /// evaluation produce bit-identical results.
+    fn snippet_invariants(&self, profile: &SnippetProfile) -> SnippetInvariants {
         let cores = self.platform.cores_per_cluster() as f64;
 
-        // --- Big-cluster CPI model -------------------------------------------------
+        // --- Big-cluster CPI model (configuration-independent terms) ---------------
         let base_cpi = 1.0 / profile.ilp;
         let l2_hit_mpki = profile.l2_mpki * (1.0 - profile.external_memory_fraction);
         let ext_mpki = profile.l2_mpki * profile.external_memory_fraction;
         let l2_stall_cpi = l2_hit_mpki / 1000.0 * self.platform.l2_latency_cycles();
+        let branch_cpi =
+            profile.branch_misprediction_pki / 1000.0 * self.platform.branch_penalty_cycles();
+
+        let app_instructions = profile.instructions as f64;
+        let threads_on_big = profile.thread_count.min(self.platform.cores_per_cluster());
+        let speedup = profile.amdahl_speedup(threads_on_big);
+        let os_instructions = app_instructions * OS_BACKGROUND_FRACTION;
+
+        let external_requests = profile.external_memory_requests();
+        SnippetInvariants {
+            base_plus_l2_cpi: base_cpi + l2_stall_cpi,
+            branch_cpi,
+            dram_stall_coeff: ext_mpki / 1000.0 * (self.platform.dram_latency_ns() * 1e-9),
+            app_instructions,
+            os_instructions,
+            threads_on_big,
+            thread_frac: threads_on_big as f64 / cores,
+            little_frac: 1.0 / cores,
+            speedup,
+            temp_big: self.big_temperature_c(),
+            temp_little: self.little_temperature_c(),
+            external_requests,
+            dram_energy_j: external_requests * self.platform.dram_energy_per_access_j(),
+            instructions_retired: app_instructions + os_instructions,
+            branch_mispredictions_per_core: profile.branch_mispredictions()
+                / threads_on_big.max(1) as f64,
+            l2_cache_misses: profile.l2_misses(),
+            data_memory_accesses: profile.data_memory_accesses(),
+        }
+    }
+
+    /// Evaluates one configuration given precomputed snippet invariants.
+    fn evaluate_with(&self, inv: &SnippetInvariants, config: DvfsConfig) -> SnippetExecution {
+        let f_big = self.platform.frequency(ClusterKind::Big, config);
+        let f_little = self.platform.frequency(ClusterKind::Little, config);
+
         // External misses cost a fixed latency in *time*; expressed in cycles the
         // stall grows with frequency, which is what makes memory-bound snippets
         // insensitive to DVFS.
-        let dram_stall_cpi = ext_mpki / 1000.0
-            * (self.platform.dram_latency_ns() * 1e-9)
-            * f_big
-            * MEMORY_STALL_EXPOSURE;
-        let branch_cpi =
-            profile.branch_misprediction_pki / 1000.0 * self.platform.branch_penalty_cycles();
-        let cpi_big = base_cpi + l2_stall_cpi + dram_stall_cpi + branch_cpi;
+        let dram_stall_cpi = inv.dram_stall_coeff * f_big * MEMORY_STALL_EXPOSURE;
+        let cpi_big = inv.base_plus_l2_cpi + dram_stall_cpi + inv.branch_cpi;
 
-        let app_instructions = profile.instructions as f64;
-        let cycles_big = app_instructions * cpi_big;
-        let threads_on_big = profile.thread_count.min(self.platform.cores_per_cluster());
-        let speedup = profile.amdahl_speedup(threads_on_big);
-        let busy_big_s = cycles_big / f_big / speedup;
+        let cycles_big = inv.app_instructions * cpi_big;
+        let busy_big_s = cycles_big / f_big / inv.speedup;
 
         // --- LITTLE-cluster background work -----------------------------------------
-        let os_instructions = app_instructions * OS_BACKGROUND_FRACTION;
         let cpi_little = cpi_big.min(4.0) * LITTLE_CPI_FACTOR;
-        let cycles_little = os_instructions * cpi_little;
+        let cycles_little = inv.os_instructions * cpi_little;
         let busy_little_s = cycles_little / f_little;
 
         // The application determines the wall time; background work overlaps it.
@@ -170,42 +234,37 @@ impl SocSimulator {
         // Power sees the fraction of the *whole cluster's* switching capacity in use;
         // the reported counter follows what OS governors act on: the busy fraction of
         // the active cores, discounting cycles stalled on DRAM.
-        let power_util_big = (threads_on_big as f64 / cores) * (busy_big_s / time_s).min(1.0);
-        let power_util_little = (1.0 / cores) * (busy_little_s / time_s).min(1.0);
+        let power_util_big = inv.thread_frac * (busy_big_s / time_s).min(1.0);
+        let power_util_little = inv.little_frac * (busy_little_s / time_s).min(1.0);
         let dram_stall_fraction = dram_stall_cpi / cpi_big;
         let big_util = (busy_big_s / time_s).min(1.0) * (1.0 - dram_stall_fraction);
         let little_util = (busy_little_s / time_s).min(1.0);
 
         // --- Power and energy ---------------------------------------------------------
-        let temp_big = self.big_temperature_c();
-        let temp_little = self.little_temperature_c();
         let p_big = self.platform.power_params(ClusterKind::Big).power(
             self.platform.vf_curve(ClusterKind::Big),
             f_big,
             power_util_big,
-            temp_big,
+            inv.temp_big,
         );
         let p_little = self.platform.power_params(ClusterKind::Little).power(
             self.platform.vf_curve(ClusterKind::Little),
             f_little,
             power_util_little,
-            temp_little,
+            inv.temp_little,
         );
-        let external_requests = profile.external_memory_requests();
-        let dram_energy_j = external_requests * self.platform.dram_energy_per_access_j();
-        let p_background = self.platform.background_power_w() + dram_energy_j / time_s;
+        let p_background = self.platform.background_power_w() + inv.dram_energy_j / time_s;
         let avg_power_w = p_big + p_little + p_background;
         let energy_j = avg_power_w * time_s;
 
         // --- Counters ------------------------------------------------------------------
         let counters = SnippetCounters {
-            instructions_retired: app_instructions + os_instructions,
+            instructions_retired: inv.instructions_retired,
             cpu_cycles_total: cycles_big + cycles_little,
-            branch_mispredictions_per_core: profile.branch_mispredictions()
-                / threads_on_big.max(1) as f64,
-            l2_cache_misses: profile.l2_misses(),
-            data_memory_accesses: profile.data_memory_accesses(),
-            external_memory_requests: external_requests,
+            branch_mispredictions_per_core: inv.branch_mispredictions_per_core,
+            l2_cache_misses: inv.l2_cache_misses,
+            data_memory_accesses: inv.data_memory_accesses,
+            external_memory_requests: inv.external_requests,
             little_cluster_utilization: little_util,
             big_cluster_utilization: big_util,
             total_chip_power_w: avg_power_w,
@@ -222,9 +281,73 @@ impl SocSimulator {
         }
     }
 
+    /// Evaluates the snippet at the configuration **without** committing thermal
+    /// state or accumulating energy — this is the "what would happen" primitive
+    /// that Oracle construction and the runtime candidate evaluation use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid for the platform.
+    pub fn evaluate_snippet(
+        &self,
+        profile: &SnippetProfile,
+        config: DvfsConfig,
+    ) -> SnippetExecution {
+        assert!(self.platform.is_valid(config), "invalid DVFS configuration {config}");
+        let inv = self.snippet_invariants(profile);
+        self.evaluate_with(&inv, config)
+    }
+
+    /// Evaluates the snippet at every configuration in `configs` in one batched
+    /// call, hoisting all configuration-independent work (CPI decomposition,
+    /// Amdahl speedup, DRAM traffic, thermal-node lookups, counter totals) out
+    /// of the inner loop.  Results are bit-identical to calling
+    /// [`SocSimulator::evaluate_snippet`] once per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration is invalid for the platform.
+    pub fn evaluate_configs(
+        &self,
+        profile: &SnippetProfile,
+        configs: &[DvfsConfig],
+    ) -> Vec<SnippetExecution> {
+        for &config in configs {
+            assert!(self.platform.is_valid(config), "invalid DVFS configuration {config}");
+        }
+        let inv = self.snippet_invariants(profile);
+        configs.iter().map(|&config| self.evaluate_with(&inv, config)).collect()
+    }
+
+    /// Batched evaluation of the snippet over the platform's **entire**
+    /// configuration space, in [`SocPlatform::configs`] order.  This is the
+    /// full-sweep primitive behind Oracle search and the runtime sweep engine.
+    pub fn evaluate_all_configs(&self, profile: &SnippetProfile) -> Vec<SnippetExecution> {
+        self.evaluate_configs(profile, &self.platform.configs())
+    }
+
     /// Per-cluster power of an evaluated snippet, used to drive the thermal model.
     fn cluster_powers(&self, execution: &SnippetExecution) -> [f64; 4] {
         [execution.big_cluster_power_w, execution.little_cluster_power_w, 0.0, 0.0]
+    }
+
+    /// Commits an execution that was evaluated **at the current thermal
+    /// state**: accumulates its energy and time and advances the thermal model
+    /// for the snippet duration.
+    ///
+    /// Callers that already hold the evaluation result of the configuration
+    /// they are about to run (Oracle search, batched sweeps) use this to avoid
+    /// re-evaluating the snippet; `execute_snippet` is exactly
+    /// `evaluate_snippet` followed by `commit_snippet`.
+    pub fn commit_snippet(&mut self, execution: &SnippetExecution) {
+        let powers = self.cluster_powers(execution);
+        let steps = (execution.time_s / self.thermal.step_s()).ceil().min(10_000.0) as usize;
+        for _ in 0..steps.max(1) {
+            self.thermal.step(&powers);
+        }
+        self.total_energy_j += execution.energy_j;
+        self.total_time_s += execution.time_s;
+        self.snippets_executed += 1;
     }
 
     /// Executes the snippet at the configuration: evaluates it, commits the energy
@@ -239,14 +362,7 @@ impl SocSimulator {
         config: DvfsConfig,
     ) -> SnippetExecution {
         let execution = self.evaluate_snippet(profile, config);
-        let powers = self.cluster_powers(&execution);
-        let steps = (execution.time_s / self.thermal.step_s()).ceil().min(10_000.0) as usize;
-        for _ in 0..steps.max(1) {
-            self.thermal.step(&powers);
-        }
-        self.total_energy_j += execution.energy_j;
-        self.total_time_s += execution.time_s;
-        self.snippets_executed += 1;
+        self.commit_snippet(&execution);
         execution
     }
 
@@ -407,6 +523,32 @@ mod tests {
         assert!(r.energy_delay_product() > 0.0);
         assert!(r.instructions_per_second() > 1e8);
         assert!(r.instructions_per_joule() > 0.0);
+    }
+
+    #[test]
+    fn batched_evaluation_is_bit_identical_to_per_call() {
+        let mut s = sim();
+        let snippets = [
+            SnippetProfile::compute_bound(100_000_000),
+            SnippetProfile::memory_bound(100_000_000),
+            SnippetProfile::compute_bound(37_500_000),
+        ];
+        // Also exercise a heated thermal state, not just ambient.
+        for _ in 0..10 {
+            s.execute_snippet(&snippets[0], s.platform().max_config());
+        }
+        let configs = s.platform().configs();
+        for snippet in &snippets {
+            let batched = s.evaluate_configs(snippet, &configs);
+            assert_eq!(batched.len(), configs.len());
+            for (&config, batch) in configs.iter().zip(&batched) {
+                let single = s.evaluate_snippet(snippet, config);
+                assert_eq!(single, *batch, "batched result differs at {config}");
+                assert_eq!(single.time_s.to_bits(), batch.time_s.to_bits());
+                assert_eq!(single.energy_j.to_bits(), batch.energy_j.to_bits());
+            }
+            assert_eq!(batched, s.evaluate_all_configs(snippet));
+        }
     }
 
     #[test]
