@@ -1,8 +1,11 @@
 //! Serving throughput of the multi-worker scenario driver.
 //!
 //! Measures decision throughput of the runtime serving path — many independent
-//! users driven concurrently against one platform — and the scaling from one
-//! worker to a pool.
+//! users driven concurrently against one platform — the scaling from one
+//! worker to a pool, and the effect of sweep-cache lock striping (one global
+//! mutex vs the default sharded cache) on that scaling.
+
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use soclearn_core::prelude::*;
@@ -61,6 +64,40 @@ fn bench(c: &mut Criterion) {
             telemetry.decisions_per_second,
             telemetry.latency.mean_ns() / 1e3,
             telemetry.oracle_agreement.unwrap_or(0.0) * 100.0,
+            telemetry.cache.hit_rate() * 100.0
+        );
+    }
+    println!();
+
+    // Lock-striping before/after: the same 12-user fleet at 4 workers with
+    // the oracle reference on (every decision hits the shared cache), served
+    // once through a single-mutex cache (the pre-sharding behaviour) and once
+    // through the default sharded cache.
+    for (label, shards) in [("single-mutex", 1usize), ("sharded", SweepCache::DEFAULT_SHARDS)] {
+        let cache = Arc::new(SweepCache::with_shards(SweepCache::DEFAULT_CAPACITY, 0, shards));
+        let artifacts = shared_artifacts(&platform, ExperimentScale::Quick);
+        let driver = ScenarioDriver::new(platform.clone(), 4)
+            .with_cache(cache)
+            .with_oracle_reference(OracleObjective::Energy);
+        // Warm pass populates the cache; the timed pass is steady-state.
+        let _ =
+            driver.run(&specs, |_, _| {
+                Box::new(artifacts.online_policy(OnlineIlConfig {
+                    buffer_capacity: 15,
+                    ..OnlineIlConfig::default()
+                }))
+            });
+        let telemetry =
+            driver.run(&specs, |_, _| {
+                Box::new(artifacts.online_policy(OnlineIlConfig {
+                    buffer_capacity: 15,
+                    ..OnlineIlConfig::default()
+                }))
+            });
+        println!(
+            "cache {label} ({} shard(s)): {:.0} decisions/s steady-state at 4 workers, {:.0}% hit rate",
+            driver.cache().shard_count(),
+            telemetry.decisions_per_second,
             telemetry.cache.hit_rate() * 100.0
         );
     }

@@ -65,7 +65,11 @@ pub mod prelude {
     pub use soclearn_rl::{DqnAgent, QTableAgent, RlConfig};
     pub use soclearn_runtime::{
         shared_artifacts, ArtifactStore, DriverTelemetry, ExperimentScale, ScenarioDriver,
-        ScenarioSpec, SweepCache, SweepEngine, TrainingArtifacts,
+        ScenarioSource, ScenarioSpec, SliceSource, SweepCache, SweepEngine, TrainingArtifacts,
+    };
+    pub use soclearn_scenarios::{
+        replay, ArrivalSchedule, FleetSource, FleetStress, PhasePattern, ScenarioGenerator,
+        SnippetDistribution, Trace, TraceDiff,
     };
     pub use soclearn_soc_sim::{
         DvfsConfig, DvfsPolicy, PolicyDecision, SnippetCounters, SnippetExecution, SocPlatform,

@@ -26,9 +26,25 @@ pub struct RecursiveLeastSquares {
     p: Vec<Vec<f64>>,
     lambda: f64,
     samples: usize,
+    /// Lower bound applied to the diagonal of `P` after every update.
+    p_floor: f64,
 }
 
 impl RecursiveLeastSquares {
+    /// Default lower bound on the diagonal of the covariance `P`.
+    ///
+    /// Without a floor, a long run of `λ = 1` (or weakly exciting) updates
+    /// drives `P → 0` and with it the adaptation gain: the estimator goes
+    /// *dead* and can no longer track a workload change, and numerical
+    /// round-off can even push diagonal entries negative, destabilising the
+    /// update.  The floor keeps a minimum adaptation gain alive.  The default
+    /// is small enough to be bit-transparent for every realistic run in this
+    /// repository (design-time pretraining leaves `P` orders of magnitude
+    /// above it) while still catching covariance collapse in marathon runs;
+    /// [`RecursiveLeastSquares::with_covariance_floor`] raises it for serving
+    /// lanes that must stay responsive forever.
+    pub const DEFAULT_COVARIANCE_FLOOR: f64 = 1e-9;
+
     /// Creates an RLS estimator for `dim` features with forgetting factor `lambda`.
     ///
     /// `lambda = 1.0` never forgets; values around `0.95–0.99` are typical for
@@ -40,7 +56,39 @@ impl RecursiveLeastSquares {
     pub fn new(dim: usize, lambda: f64) -> Self {
         assert!(dim > 0, "feature dimension must be positive");
         assert!(lambda > 0.0 && lambda <= 1.0, "forgetting factor must be in (0, 1]");
-        Self { weights: vec![0.0; dim], p: Self::scaled_identity(dim, 1e4), lambda, samples: 0 }
+        Self {
+            weights: vec![0.0; dim],
+            p: Self::scaled_identity(dim, 1e4),
+            lambda,
+            samples: 0,
+            p_floor: Self::DEFAULT_COVARIANCE_FLOOR,
+        }
+    }
+
+    /// Returns the estimator with the covariance-diagonal lower bound replaced.
+    ///
+    /// `floor = 0.0` disables the bound (the seed behaviour); larger values
+    /// guarantee a minimum adaptation gain after arbitrarily long runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` is negative or not finite.
+    #[must_use]
+    pub fn with_covariance_floor(mut self, floor: f64) -> Self {
+        assert!(floor.is_finite() && floor >= 0.0, "covariance floor must be finite and >= 0");
+        self.p_floor = floor;
+        self
+    }
+
+    /// The covariance-diagonal lower bound in use.
+    pub fn covariance_floor(&self) -> f64 {
+        self.p_floor
+    }
+
+    /// Smallest diagonal entry of the covariance `P` (a proxy for how much
+    /// adaptation gain the estimator has left).
+    pub fn min_p_diagonal(&self) -> f64 {
+        (0..self.weights.len()).map(|i| self.p[i][i]).fold(f64::INFINITY, f64::min)
     }
 
     fn scaled_identity(dim: usize, scale: f64) -> Vec<Vec<f64>> {
@@ -120,6 +168,12 @@ impl RecursiveLeastSquares {
             for (p_entry, xp) in p_row.iter_mut().zip(&xt_p) {
                 *p_entry = (*p_entry - g * xp) / lambda;
             }
+        }
+        // Floor the covariance diagonal: `f64::max` leaves every entry above
+        // the floor bit-identical, so the bound only acts on collapsed (or
+        // numerically negative) directions.
+        for i in 0..dim {
+            self.p[i][i] = self.p[i][i].max(self.p_floor);
         }
         self.samples += 1;
         error
@@ -380,6 +434,69 @@ mod tests {
         assert_eq!(adaptive.predict(&probe), expected);
         assert_eq!(adaptive.current_lambda(), 0.99);
         assert_eq!(adaptive.samples_seen(), 200);
+    }
+
+    #[test]
+    fn covariance_floor_keeps_long_run_adaptation_alive() {
+        // Marathon λ=1 run: without a floor the covariance collapses toward
+        // zero and the estimator goes dead; with a floor it keeps a minimum
+        // adaptation gain and can still track a late workload change.
+        let floor = 1e-3;
+        let mut floored = RecursiveLeastSquares::new(2, 1.0).with_covariance_floor(floor);
+        let mut dead = RecursiveLeastSquares::new(2, 1.0).with_covariance_floor(0.0);
+        for i in 0..300_000usize {
+            let x = vec![(i % 10) as f64 / 10.0, 1.0];
+            let y = x[0];
+            floored.update(&x, y);
+            dead.update(&x, y);
+        }
+        assert!(floored.min_p_diagonal() >= floor, "floor must hold after the marathon");
+        assert!(dead.min_p_diagonal() < floor, "unfloored covariance should have collapsed");
+        // Late regime change: y = 3x + 2.
+        for i in 0..5_000usize {
+            let x = vec![(i % 10) as f64 / 10.0, 1.0];
+            let y = 3.0 * x[0] + 2.0;
+            floored.update(&x, y);
+            dead.update(&x, y);
+        }
+        let probe = vec![0.5, 1.0];
+        let target = 3.5;
+        let err_floored = (floored.predict(&probe) - target).abs();
+        let err_dead = (dead.predict(&probe) - target).abs();
+        assert!(
+            err_floored < err_dead,
+            "floored RLS ({err_floored}) must out-adapt the collapsed one ({err_dead})"
+        );
+        assert!(
+            err_floored < 0.5,
+            "floored RLS should re-converge after the change ({err_floored})"
+        );
+    }
+
+    #[test]
+    fn default_floor_is_bit_transparent_for_short_runs() {
+        // The default floor is far below where P sits after realistic sample
+        // counts, so results match the unfloored seed behaviour bit for bit.
+        let mut with_default = RecursiveLeastSquares::new(3, 1.0);
+        let mut without = RecursiveLeastSquares::new(3, 1.0).with_covariance_floor(0.0);
+        for (x, y) in stationary_stream(2_000) {
+            with_default.update(&x, y);
+            without.update(&x, y);
+        }
+        assert_eq!(
+            with_default.covariance_floor(),
+            RecursiveLeastSquares::DEFAULT_COVARIANCE_FLOOR
+        );
+        for (a, b) in with_default.weights().iter().zip(without.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(with_default.min_p_diagonal() > RecursiveLeastSquares::DEFAULT_COVARIANCE_FLOOR);
+    }
+
+    #[test]
+    #[should_panic(expected = "covariance floor")]
+    fn rejects_negative_floor() {
+        let _ = RecursiveLeastSquares::new(2, 1.0).with_covariance_floor(-1.0);
     }
 
     #[test]

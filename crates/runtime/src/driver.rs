@@ -4,22 +4,29 @@
 //! driver is the serving harness that stresses it like one.  Each scenario is
 //! one independent "user" — an [`ApplicationSequence`] executed on a private
 //! [`SocSimulator`] under a private policy instance — and a pool of
-//! `std::thread` workers drains the scenario queue concurrently.  All workers
-//! share one [`SweepCache`], so the Oracle reference runs that score
-//! policy-vs-oracle agreement deduplicate across users running the same
-//! applications.
+//! `std::thread` workers drains a [`ScenarioSource`] concurrently.  The source
+//! may be a pre-materialised slice ([`ScenarioDriver::run`]) or a streaming
+//! generator that manufactures users on demand
+//! ([`ScenarioDriver::run_stream`]), so fleet-scale workloads never need to be
+//! materialised up front.  All workers share one [`SweepCache`], so the Oracle
+//! reference runs that score policy-vs-oracle agreement deduplicate across
+//! users running the same applications.
 //!
 //! The driver aggregates serving telemetry: decision throughput
 //! (decisions/second of wall time), a per-decision policy-latency histogram,
 //! total simulated energy/time, per-worker breakdowns and the shared cache's
-//! hit statistics.
+//! hit statistics.  [`ScenarioDriver::run_recorded`] additionally captures a
+//! per-decision [`DecisionRecord`] stream per scenario, which the
+//! `soclearn-scenarios` trace layer serialises into replayable JSONL traces.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use soclearn_oracle::OracleObjective;
-use soclearn_soc_sim::{DvfsPolicy, PolicyDecision, SnippetCounters, SocPlatform, SocSimulator};
+use soclearn_soc_sim::{
+    DvfsConfig, DvfsPolicy, PolicyDecision, SnippetCounters, SocPlatform, SocSimulator,
+};
 use soclearn_workloads::{ApplicationSequence, SnippetProfile};
 
 use crate::sweep::{SweepCache, SweepCacheStats, SweepEngine};
@@ -43,6 +50,82 @@ impl ScenarioSpec {
     pub fn from_sequence(name: impl Into<String>, sequence: &ApplicationSequence) -> Self {
         Self::new(name, sequence.snippets().iter().map(|s| s.profile.clone()).collect())
     }
+}
+
+/// A stream of scenarios served by the driver's worker pool.
+///
+/// Workers call [`ScenarioSource::next_scenario`] until it returns `None`; the
+/// source must hand out each scenario exactly once (across all workers) with a
+/// stable index, so telemetry and recordings stay attributable no matter which
+/// worker claimed which user.  Implementations may block inside
+/// `next_scenario` to model arrival schedules — the claiming worker waits, the
+/// others keep serving.
+pub trait ScenarioSource: Sync {
+    /// Claims the next scenario, or `None` once the stream is exhausted.
+    fn next_scenario(&self) -> Option<(usize, ScenarioSpec)>;
+}
+
+/// [`ScenarioSource`] over a pre-materialised slice, claiming scenarios in
+/// index order.  This is what [`ScenarioDriver::run`] wraps around its input,
+/// so the slice path and the streaming path are one code path.
+pub struct SliceSource<'a> {
+    scenarios: &'a [ScenarioSpec],
+    next: AtomicUsize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a slice of scenarios.
+    pub fn new(scenarios: &'a [ScenarioSpec]) -> Self {
+        Self { scenarios, next: AtomicUsize::new(0) }
+    }
+}
+
+impl ScenarioSource for SliceSource<'_> {
+    fn next_scenario(&self) -> Option<(usize, ScenarioSpec)> {
+        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        self.scenarios.get(index).map(|spec| (index, spec.clone()))
+    }
+}
+
+/// Everything observed while serving one decision, captured by
+/// [`ScenarioDriver::run_recorded`].  The field set is exactly what a
+/// deterministic replay needs: the snippet, the chosen configuration, the
+/// thermal state the decision was made at, and the telemetry the simulator
+/// produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Index of the snippet within its scenario.
+    pub index: usize,
+    /// The snippet that executed.
+    pub profile: SnippetProfile,
+    /// Configuration the policy chose.
+    pub config: DvfsConfig,
+    /// Big-cluster temperature (°C) when the snippet started.
+    pub big_temp_c: f64,
+    /// LITTLE-cluster temperature (°C) when the snippet started.
+    pub little_temp_c: f64,
+    /// Energy of the snippet, joules.
+    pub energy_j: f64,
+    /// Execution time of the snippet, seconds.
+    pub time_s: f64,
+    /// Counters observed while the snippet executed.
+    pub counters: SnippetCounters,
+}
+
+/// Per-scenario recording of one [`ScenarioDriver::run_recorded`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// Stable scenario index assigned by the source.
+    pub index: usize,
+    /// Scenario name.
+    pub name: String,
+    /// Name of the policy that served the scenario.
+    pub policy: String,
+    /// Decisions whose big-cluster level matched the Oracle reference, when
+    /// the driver ran with one.
+    pub oracle_matches: Option<usize>,
+    /// The per-decision records in execution order.
+    pub decisions: Vec<DecisionRecord>,
 }
 
 /// Number of power-of-two latency buckets (1 ns up to ~1 s per decision).
@@ -184,6 +267,8 @@ pub struct ScenarioDriver {
     workers: usize,
     cache: Arc<SweepCache>,
     oracle_reference: Option<OracleObjective>,
+    /// Quantised serving: executions routed through a bucketed sweep cache.
+    serving_cache: Option<Arc<SweepCache>>,
 }
 
 impl ScenarioDriver {
@@ -194,7 +279,13 @@ impl ScenarioDriver {
     /// Panics if `workers` is zero.
     pub fn new(platform: SocPlatform, workers: usize) -> Self {
         assert!(workers > 0, "driver needs at least one worker");
-        Self { platform, workers, cache: Arc::new(SweepCache::new()), oracle_reference: None }
+        Self {
+            platform,
+            workers,
+            cache: Arc::new(SweepCache::new()),
+            oracle_reference: None,
+            serving_cache: None,
+        }
     }
 
     /// Scores every decision against an Oracle run of the same scenario under
@@ -213,44 +304,114 @@ impl ScenarioDriver {
         self
     }
 
+    /// Switches the driver into **quantised serving** mode: snippet executions
+    /// are served from a shared [`SweepCache::with_quantization`] cache whose
+    /// keys drop the lowest `quantize_bits` mantissa bits of every float
+    /// (profile features *and* cluster temperatures), so nearby thermal states
+    /// within one thermally evolving run share sweep results.
+    ///
+    /// Exact serving stays the default.  Quantised serving trades bit-exact
+    /// telemetry for cache hits: with 44 dropped bits (temperature buckets of
+    /// ≈ 0.25 °C around 45 °C) the energy/time totals of a paper suite stay
+    /// within 2% of exact serving — see
+    /// `quantised_serving_stays_within_documented_bound` in the
+    /// `integration_scenarios` suite, which locks that bound in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantize_bits` is zero (use the default exact mode) or
+    /// `>= 52` (the full `f64` mantissa).
+    #[must_use]
+    pub fn with_quantized_serving(mut self, quantize_bits: u32) -> Self {
+        assert!(quantize_bits > 0, "exact serving is the default; pick 1..52 bits");
+        self.serving_cache = Some(Arc::new(SweepCache::with_quantization(
+            SweepCache::DEFAULT_CAPACITY,
+            quantize_bits,
+        )));
+        self
+    }
+
     /// The shared sweep cache.
     pub fn cache(&self) -> &Arc<SweepCache> {
         &self.cache
     }
 
-    /// Serves every scenario to completion and returns the aggregated
-    /// telemetry.  `make_policy` is called once per scenario (from the worker
-    /// thread that claimed it) with the scenario index and spec, so every user
-    /// gets an independent policy instance.
+    /// The quantised serving cache, when quantised serving is enabled.
+    pub fn serving_cache(&self) -> Option<&Arc<SweepCache>> {
+        self.serving_cache.as_ref()
+    }
+
+    /// Serves every scenario of a pre-materialised slice; equivalent to
+    /// [`ScenarioDriver::run_stream`] over a [`SliceSource`].
     pub fn run<F>(&self, scenarios: &[ScenarioSpec], make_policy: F) -> DriverTelemetry
     where
         F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
     {
+        self.run_stream(&SliceSource::new(scenarios), make_policy)
+    }
+
+    /// Serves every scenario the source yields and returns the aggregated
+    /// telemetry.  `make_policy` is called once per scenario (from the worker
+    /// thread that claimed it) with the scenario index and spec, so every user
+    /// gets an independent policy instance.
+    pub fn run_stream<S, F>(&self, source: &S, make_policy: F) -> DriverTelemetry
+    where
+        S: ScenarioSource + ?Sized,
+        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
+        self.run_inner(source, &make_policy, false).0
+    }
+
+    /// Like [`ScenarioDriver::run_stream`], but additionally records every
+    /// decision (snippet, chosen config, thermal state, telemetry) per
+    /// scenario, sorted by scenario index.  The recording is what the trace
+    /// layer in `soclearn-scenarios` serialises and replays; exact serving
+    /// (the default) guarantees a replay reproduces the records bit-for-bit.
+    pub fn run_recorded<S, F>(
+        &self,
+        source: &S,
+        make_policy: F,
+    ) -> (DriverTelemetry, Vec<ScenarioRecord>)
+    where
+        S: ScenarioSource + ?Sized,
+        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
+        let (telemetry, mut records) = self.run_inner(source, &make_policy, true);
+        records.sort_by_key(|r| r.index);
+        (telemetry, records)
+    }
+
+    fn run_inner<S, F>(
+        &self,
+        source: &S,
+        make_policy: &F,
+        record: bool,
+    ) -> (DriverTelemetry, Vec<ScenarioRecord>)
+    where
+        S: ScenarioSource + ?Sized,
+        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
         let started = Instant::now();
-        let next = AtomicUsize::new(0);
-        let mut worker_slots: Vec<(WorkerTelemetry, LatencyHistogram)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..self.workers)
-                    .map(|worker| {
-                        let next = &next;
-                        let make_policy = &make_policy;
-                        scope.spawn(move || self.serve(worker, scenarios, next, make_policy))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("driver worker panicked")).collect()
-            });
+        let mut worker_slots: Vec<WorkerSlot> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|worker| scope.spawn(move || self.serve(worker, source, make_policy, record)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("driver worker panicked")).collect()
+        });
         let wall_seconds = started.elapsed().as_secs_f64();
 
-        worker_slots.sort_by_key(|(w, _)| w.worker);
+        worker_slots.sort_by_key(|slot| slot.telemetry.worker);
         let mut latency = LatencyHistogram::new();
         let mut workers = Vec::with_capacity(worker_slots.len());
-        for (telemetry, histogram) in worker_slots {
-            latency.merge(&histogram);
-            workers.push(telemetry);
+        let mut records = Vec::new();
+        for slot in worker_slots {
+            latency.merge(&slot.latency);
+            workers.push(slot.telemetry);
+            records.extend(slot.records);
         }
         let decisions: usize = workers.iter().map(|w| w.decisions).sum();
         let matches: usize = workers.iter().map(|w| w.oracle_matches).sum();
-        DriverTelemetry {
+        let telemetry = DriverTelemetry {
             scenarios: workers.iter().map(|w| w.scenarios).sum(),
             decisions,
             total_energy_j: workers.iter().map(|w| w.energy_j).sum(),
@@ -267,37 +428,35 @@ impl ScenarioDriver {
             }),
             cache: self.cache.stats(),
             workers,
-        }
+        };
+        (telemetry, records)
     }
 
-    /// Worker loop: claim scenarios until the queue drains.
-    fn serve<F>(
-        &self,
-        worker: usize,
-        scenarios: &[ScenarioSpec],
-        next: &AtomicUsize,
-        make_policy: &F,
-    ) -> (WorkerTelemetry, LatencyHistogram)
+    /// Worker loop: claim scenarios until the source drains.
+    fn serve<S, F>(&self, worker: usize, source: &S, make_policy: &F, record: bool) -> WorkerSlot
     where
+        S: ScenarioSource + ?Sized,
         F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
     {
-        let mut telemetry = WorkerTelemetry {
-            worker,
-            scenarios: 0,
-            decisions: 0,
-            energy_j: 0.0,
-            simulated_time_s: 0.0,
-            oracle_matches: 0,
+        let mut slot = WorkerSlot {
+            telemetry: WorkerTelemetry {
+                worker,
+                scenarios: 0,
+                decisions: 0,
+                energy_j: 0.0,
+                simulated_time_s: 0.0,
+                oracle_matches: 0,
+            },
+            latency: LatencyHistogram::new(),
+            records: Vec::new(),
         };
-        let mut latency = LatencyHistogram::new();
         let mut oracle_engine = self
             .oracle_reference
             .map(|_| SweepEngine::with_cache(self.platform.clone(), Arc::clone(&self.cache)));
 
-        loop {
-            let index = next.fetch_add(1, Ordering::Relaxed);
-            let Some(scenario) = scenarios.get(index) else { break };
-            let mut policy = make_policy(index, scenario);
+        while let Some((index, scenario)) = source.next_scenario() {
+            let mut policy = make_policy(index, &scenario);
+            let policy_name = record.then(|| policy.name().to_owned());
 
             let oracle_decisions = match (&mut oracle_engine, self.oracle_reference) {
                 (Some(engine), Some(objective)) => {
@@ -307,29 +466,84 @@ impl ScenarioDriver {
                 _ => None,
             };
 
-            let mut sim = SocSimulator::new(self.platform.clone());
+            // Exact serving executes directly on a private simulator; quantised
+            // serving routes executions through the shared bucketed cache (the
+            // engine owns its own simulator, so only one of the two exists).
+            let mut serving_engine = self
+                .serving_cache
+                .as_ref()
+                .map(|cache| SweepEngine::with_cache(self.platform.clone(), Arc::clone(cache)));
+            let mut sim = match serving_engine {
+                None => Some(SocSimulator::new(self.platform.clone())),
+                Some(_) => None,
+            };
+            let mut scenario_matches = 0usize;
+            let mut decisions = record.then(|| Vec::with_capacity(scenario.profiles.len()));
             let mut counters = SnippetCounters::default();
             let mut config = self.platform.max_config();
             for (i, profile) in scenario.profiles.iter().enumerate() {
                 let decision_started = Instant::now();
                 config = policy.decide(&self.platform, PolicyDecision::new(&counters, config, i));
-                latency.record(decision_started.elapsed().as_nanos() as u64);
-                let result = sim.execute_snippet(profile, config);
+                slot.latency.record(decision_started.elapsed().as_nanos() as u64);
+                let (big_temp_c, little_temp_c, result) = match &mut serving_engine {
+                    Some(engine) => {
+                        let temps =
+                            (engine.sim().big_temperature_c(), engine.sim().little_temperature_c());
+                        (temps.0, temps.1, engine.execute(profile, config))
+                    }
+                    None => {
+                        let sim = sim.as_mut().expect("exact serving owns a simulator");
+                        (
+                            sim.big_temperature_c(),
+                            sim.little_temperature_c(),
+                            sim.execute_snippet(profile, config),
+                        )
+                    }
+                };
                 policy.observe_outcome(result.energy_j, result.time_s);
                 counters = result.counters;
-                telemetry.decisions += 1;
-                telemetry.energy_j += result.energy_j;
-                telemetry.simulated_time_s += result.time_s;
+                slot.telemetry.decisions += 1;
+                slot.telemetry.energy_j += result.energy_j;
+                slot.telemetry.simulated_time_s += result.time_s;
                 if let Some(reference) = &oracle_decisions {
                     if reference[i].big_idx == config.big_idx {
-                        telemetry.oracle_matches += 1;
+                        slot.telemetry.oracle_matches += 1;
+                        scenario_matches += 1;
                     }
                 }
+                if let Some(decisions) = &mut decisions {
+                    decisions.push(DecisionRecord {
+                        index: i,
+                        profile: profile.clone(),
+                        config,
+                        big_temp_c,
+                        little_temp_c,
+                        energy_j: result.energy_j,
+                        time_s: result.time_s,
+                        counters: result.counters,
+                    });
+                }
             }
-            telemetry.scenarios += 1;
+            slot.telemetry.scenarios += 1;
+            if let Some(decisions) = decisions {
+                slot.records.push(ScenarioRecord {
+                    index,
+                    name: scenario.name.clone(),
+                    policy: policy_name.unwrap_or_default(),
+                    oracle_matches: oracle_decisions.as_ref().map(|_| scenario_matches),
+                    decisions,
+                });
+            }
         }
-        (telemetry, latency)
+        slot
     }
+}
+
+/// Everything one worker brings back from its serve loop.
+struct WorkerSlot {
+    telemetry: WorkerTelemetry,
+    latency: LatencyHistogram,
+    records: Vec<ScenarioRecord>,
 }
 
 #[cfg(test)]
@@ -397,6 +611,84 @@ mod tests {
             Box::new(OraclePolicy::from_run(&run, platform.min_config()))
         });
         assert_eq!(telemetry.oracle_agreement, Some(1.0));
+    }
+
+    #[test]
+    fn streaming_source_matches_the_slice_path() {
+        let platform = SocPlatform::small();
+        let specs = scenarios(5);
+        // One worker makes scenario→worker assignment deterministic, so the
+        // energy totals (f64 sums) must agree bit-for-bit.
+        let driver = ScenarioDriver::new(platform.clone(), 1);
+        let sliced = driver.run(&specs, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        let streamed = driver.run_stream(&SliceSource::new(&specs), |_, _| {
+            Box::new(OndemandGovernor::new(&platform))
+        });
+        assert_eq!(sliced.scenarios, streamed.scenarios);
+        assert_eq!(sliced.decisions, streamed.decisions);
+        assert_eq!(sliced.total_energy_j.to_bits(), streamed.total_energy_j.to_bits());
+        assert_eq!(sliced.simulated_time_s.to_bits(), streamed.simulated_time_s.to_bits());
+    }
+
+    #[test]
+    fn recorded_run_captures_every_decision() {
+        let platform = SocPlatform::small();
+        let specs = scenarios(4);
+        let driver =
+            ScenarioDriver::new(platform.clone(), 2).with_oracle_reference(OracleObjective::Energy);
+        let (telemetry, records) = driver.run_recorded(&SliceSource::new(&specs), |_, _| {
+            Box::new(OndemandGovernor::new(&platform))
+        });
+        assert_eq!(records.len(), 4);
+        // Sorted by scenario index regardless of worker interleaving.
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.index, i);
+            assert_eq!(record.name, format!("user-{i}"));
+            assert_eq!(record.policy, "ondemand");
+            assert_eq!(record.decisions.len(), 3);
+            assert!(record.oracle_matches.is_some());
+        }
+        let recorded_energy: f64 =
+            records.iter().flat_map(|r| r.decisions.iter().map(|d| d.energy_j)).sum();
+        assert!((recorded_energy - telemetry.total_energy_j).abs() < 1e-9);
+        let matches: usize = records.iter().filter_map(|r| r.oracle_matches).sum();
+        let agreement = telemetry.oracle_agreement.expect("reference was requested");
+        assert!((agreement - matches as f64 / telemetry.decisions as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorded_decisions_replay_bit_identically() {
+        let platform = SocPlatform::small();
+        let specs = scenarios(2);
+        let driver = ScenarioDriver::new(platform.clone(), 2);
+        let (_, records) = driver.run_recorded(&SliceSource::new(&specs), |_, _| {
+            Box::new(OndemandGovernor::new(&platform))
+        });
+        for record in &records {
+            let mut sim = SocSimulator::new(platform.clone());
+            for decision in &record.decisions {
+                assert_eq!(sim.big_temperature_c().to_bits(), decision.big_temp_c.to_bits());
+                let replayed = sim.execute_snippet(&decision.profile, decision.config);
+                assert_eq!(replayed.energy_j.to_bits(), decision.energy_j.to_bits());
+                assert_eq!(replayed.time_s.to_bits(), decision.time_s.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quantised_serving_stays_close_to_exact() {
+        let platform = SocPlatform::small();
+        let specs = scenarios(4);
+        let exact = ScenarioDriver::new(platform.clone(), 2)
+            .run(&specs, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        let quantised_driver = ScenarioDriver::new(platform.clone(), 2).with_quantized_serving(44);
+        let quantised =
+            quantised_driver.run(&specs, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        assert_eq!(exact.decisions, quantised.decisions);
+        let delta = (quantised.total_energy_j - exact.total_energy_j).abs() / exact.total_energy_j;
+        assert!(delta < 0.02, "quantised serving drifted {:.3}% from exact", delta * 100.0);
+        let stats = quantised_driver.serving_cache().expect("quantised cache exists").stats();
+        assert!(stats.hits > 0, "bucketed keys must coalesce repeated snippets");
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub use artifacts::{
     EXPERIMENT_SEED,
 };
 pub use driver::{
-    DriverTelemetry, LatencyHistogram, ScenarioDriver, ScenarioSpec, WorkerTelemetry,
+    DecisionRecord, DriverTelemetry, LatencyHistogram, ScenarioDriver, ScenarioRecord,
+    ScenarioSource, ScenarioSpec, SliceSource, WorkerTelemetry,
 };
 pub use scale::ExperimentScale;
 pub use sweep::{SweepCache, SweepCacheStats, SweepEngine};

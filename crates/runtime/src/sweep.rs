@@ -21,9 +21,14 @@
 //! cluster temperatures, so a hit can only occur for an evaluation that would
 //! have produced the very same floats.  An optional quantisation knob widens
 //! the key buckets for serving scenarios that prefer hit rate over exactness.
+//!
+//! The cache is **lock-striped**: entries live in [`SweepCache::DEFAULT_SHARDS`]
+//! independently-mutexed segments selected by the key's hash, so concurrent
+//! workers hitting different snippets no longer serialise on one global mutex.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, RwLock};
 
 use soclearn_oracle::{Demonstration, OracleObjective, OracleRun, OracleSearch};
 use soclearn_soc_sim::{DvfsConfig, SnippetExecution, SocPlatform, SocSimulator};
@@ -93,16 +98,15 @@ impl SweepCacheStats {
     }
 }
 
+/// One lock-striped segment of the cache: an independent LRU map.
 #[derive(Debug, Default)]
-struct SweepCacheInner {
+struct SweepShard {
     /// Sweep results plus the logical timestamp of their last use.
     entries: HashMap<SweepKey, (u64, Arc<Vec<SnippetExecution>>)>,
     /// Recency index: last-use tick → key.  Ticks are unique (allocated under
-    /// the lock), so the first entry is always the least recently used and
-    /// eviction is `O(log n)` instead of a full map scan.
+    /// the shard lock), so the first entry is always the least recently used
+    /// and eviction is `O(log n)` instead of a full map scan.
     order: BTreeMap<u64, SweepKey>,
-    /// Registered platform fingerprints; index = platform id.
-    platforms: Vec<String>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -111,10 +115,16 @@ struct SweepCacheInner {
 
 /// Thread-safe LRU memo of full-configuration sweep results, shareable between
 /// many [`SweepEngine`]s (and therefore many worker threads) via `Arc`.
+///
+/// Internally the cache is split into lock-striped shards (the key's hash
+/// picks a mutexed segment), so workers serving different snippets contend on
+/// different locks and driver throughput scales with the worker count.
 #[derive(Debug)]
 pub struct SweepCache {
-    inner: Mutex<SweepCacheInner>,
-    capacity: usize,
+    shards: Vec<Mutex<SweepShard>>,
+    /// Registered platform fingerprints; index = platform id.
+    platforms: RwLock<Vec<String>>,
+    capacity_per_shard: usize,
     /// Number of low mantissa bits dropped from every `f64` in the key.
     quantize_bits: u32,
 }
@@ -123,6 +133,9 @@ impl SweepCache {
     /// Default number of resident sweeps (a sweep for the Odroid-class platform
     /// is 40 [`SnippetExecution`]s, ≈ 6 KB).
     pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Default number of lock-striped shards.
+    pub const DEFAULT_SHARDS: usize = 16;
 
     /// Creates a cache with the default capacity and **exact** keys.
     pub fn new() -> Self {
@@ -151,27 +164,69 @@ impl SweepCache {
     /// Panics if `capacity` is zero or `quantize_bits >= 52` (the full `f64`
     /// mantissa).
     pub fn with_quantization(capacity: usize, quantize_bits: u32) -> Self {
-        assert!(capacity > 0, "sweep cache capacity must be positive");
-        assert!(quantize_bits < 52, "cannot drop the entire f64 mantissa");
-        Self { inner: Mutex::new(SweepCacheInner::default()), capacity, quantize_bits }
+        Self::with_shards(capacity, quantize_bits, Self::DEFAULT_SHARDS)
     }
 
-    /// Current hit/miss statistics.
-    pub fn stats(&self) -> SweepCacheStats {
-        let inner = self.inner.lock().expect("sweep cache poisoned");
-        SweepCacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.entries.len(),
+    /// Creates a cache with an explicit shard count (`1` reproduces the old
+    /// single-mutex behaviour, which the `serving_throughput` bench uses as
+    /// its before/after baseline).
+    ///
+    /// The capacity bound is enforced **per shard** (`capacity / shards`,
+    /// rounded up), so the whole cache holds at most ≈ `capacity` sweeps —
+    /// but a shard whose hash bucket runs hot can evict entries while the
+    /// cache as a whole is below `capacity` (unlike the single-mutex LRU,
+    /// which only evicted at the global bound).  Working sets near the
+    /// capacity limit should size the cache with headroom or drop to one
+    /// shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `shards` is zero, or `quantize_bits >= 52` (the
+    /// full `f64` mantissa).
+    pub fn with_shards(capacity: usize, quantize_bits: u32, shards: usize) -> Self {
+        assert!(capacity > 0, "sweep cache capacity must be positive");
+        assert!(shards > 0, "sweep cache needs at least one shard");
+        assert!(quantize_bits < 52, "cannot drop the entire f64 mantissa");
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(SweepShard::default())).collect(),
+            platforms: RwLock::new(Vec::new()),
+            capacity_per_shard: capacity.div_ceil(shards),
+            quantize_bits,
         }
+    }
+
+    /// Number of lock-striped shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard responsible for `key`.
+    fn shard_of(&self, key: &SweepKey) -> &Mutex<SweepShard> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Current hit/miss statistics, aggregated over all shards.
+    pub fn stats(&self) -> SweepCacheStats {
+        let mut stats = SweepCacheStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("sweep cache poisoned");
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.evictions += shard.evictions;
+            stats.entries += shard.entries.len();
+        }
+        stats
     }
 
     /// Drops every cached sweep (statistics are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("sweep cache poisoned");
-        inner.entries.clear();
-        inner.order.clear();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("sweep cache poisoned");
+            shard.entries.clear();
+            shard.order.clear();
+        }
     }
 
     fn quantize(&self, value: f64) -> u64 {
@@ -181,12 +236,18 @@ impl SweepCache {
     /// Registers (or looks up) a platform and returns its stable id.
     fn platform_id(&self, platform: &SocPlatform) -> u32 {
         let fingerprint = serde_json::to_string(platform).expect("platform serialises");
-        let mut inner = self.inner.lock().expect("sweep cache poisoned");
-        if let Some(idx) = inner.platforms.iter().position(|p| *p == fingerprint) {
+        {
+            let platforms = self.platforms.read().expect("platform registry poisoned");
+            if let Some(idx) = platforms.iter().position(|p| *p == fingerprint) {
+                return idx as u32;
+            }
+        }
+        let mut platforms = self.platforms.write().expect("platform registry poisoned");
+        if let Some(idx) = platforms.iter().position(|p| *p == fingerprint) {
             idx as u32
         } else {
-            inner.platforms.push(fingerprint);
-            (inner.platforms.len() - 1) as u32
+            platforms.push(fingerprint);
+            (platforms.len() - 1) as u32
         }
     }
 
@@ -208,51 +269,53 @@ impl SweepCache {
     }
 
     /// Returns the cached sweep for `key`, or evaluates `compute` and caches
-    /// its result, evicting the least-recently-used entry when full.
+    /// its result, evicting the least-recently-used entry of the key's shard
+    /// when full.
     fn get_or_compute<F>(&self, key: SweepKey, compute: F) -> Arc<Vec<SnippetExecution>>
     where
         F: FnOnce() -> Vec<SnippetExecution>,
     {
+        let shard_lock = self.shard_of(&key);
         {
-            let mut guard = self.inner.lock().expect("sweep cache poisoned");
-            let inner = &mut *guard;
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(entry) = inner.entries.get_mut(&key) {
+            let mut guard = shard_lock.lock().expect("sweep cache poisoned");
+            let shard = &mut *guard;
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some(entry) = shard.entries.get_mut(&key) {
                 let old_tick = entry.0;
                 entry.0 = tick;
                 let sweep = Arc::clone(&entry.1);
-                inner.order.remove(&old_tick);
-                inner.order.insert(tick, key);
-                inner.hits += 1;
+                shard.order.remove(&old_tick);
+                shard.order.insert(tick, key);
+                shard.hits += 1;
                 return sweep;
             }
-            inner.misses += 1;
+            shard.misses += 1;
         }
         // Evaluate outside the lock: a miss must not serialise other workers.
         let sweep = Arc::new(compute());
-        let mut guard = self.inner.lock().expect("sweep cache poisoned");
-        let inner = &mut *guard;
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.entries.entry(key) {
+        let mut guard = shard_lock.lock().expect("sweep cache poisoned");
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut occupied) => {
                 // A racing worker inserted the same key while we evaluated;
                 // keep its (identical) result resident and refresh recency.
                 let old_tick = occupied.get().0;
                 occupied.get_mut().0 = tick;
-                inner.order.remove(&old_tick);
-                inner.order.insert(tick, key);
+                shard.order.remove(&old_tick);
+                shard.order.insert(tick, key);
             }
             std::collections::hash_map::Entry::Vacant(vacant) => {
                 vacant.insert((tick, Arc::clone(&sweep)));
-                inner.order.insert(tick, key);
-                if inner.entries.len() > self.capacity {
+                shard.order.insert(tick, key);
+                if shard.entries.len() > self.capacity_per_shard {
                     // Evict the least recently used entry (smallest tick, and
                     // never the one just inserted since its tick is newest).
-                    if let Some((_, oldest_key)) = inner.order.pop_first() {
-                        inner.entries.remove(&oldest_key);
-                        inner.evictions += 1;
+                    if let Some((_, oldest_key)) = shard.order.pop_first() {
+                        shard.entries.remove(&oldest_key);
+                        shard.evictions += 1;
                     }
                 }
             }
@@ -480,7 +543,9 @@ mod tests {
     #[test]
     fn lru_eviction_respects_capacity() {
         let platform = SocPlatform::small();
-        let cache = Arc::new(SweepCache::with_capacity(2));
+        // One shard so the capacity bound is global and the eviction count is
+        // exact; the sharded default spreads the bound across segments.
+        let cache = Arc::new(SweepCache::with_shards(2, 0, 1));
         let engine = SweepEngine::with_cache(platform, Arc::clone(&cache));
         for instructions in [1_000_000u64, 2_000_000, 3_000_000, 4_000_000] {
             let _ = engine.sweep(&SnippetProfile::compute_bound(instructions));
@@ -489,6 +554,49 @@ mod tests {
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 2);
         assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn sharded_cache_matches_single_shard_results() {
+        let platform = SocPlatform::small();
+        let sharded = SweepEngine::with_cache(platform.clone(), Arc::new(SweepCache::new()));
+        let single =
+            SweepEngine::with_cache(platform, Arc::new(SweepCache::with_shards(4096, 0, 1)));
+        for instructions in [10_000_000u64, 20_000_000, 30_000_000, 10_000_000] {
+            let profile = SnippetProfile::compute_bound(instructions);
+            let a = sharded.sweep(&profile);
+            let b = single.sweep(&profile);
+            assert_eq!(*a, *b, "shard placement must not change results");
+        }
+        assert_eq!(sharded.cache().shard_count(), SweepCache::DEFAULT_SHARDS);
+        let (a, b) = (sharded.cache().stats(), single.cache().stats());
+        assert_eq!((a.hits, a.misses), (b.hits, b.misses));
+        assert_eq!(a.entries, 3);
+    }
+
+    #[test]
+    fn sharded_cache_is_consistent_under_concurrent_access() {
+        let platform = SocPlatform::small();
+        let cache = Arc::new(SweepCache::new());
+        let profiles: Vec<SnippetProfile> =
+            (1..=8).map(|i| SnippetProfile::compute_bound(i * 5_000_000)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let platform = platform.clone();
+                let profiles = &profiles;
+                scope.spawn(move || {
+                    let engine = SweepEngine::with_cache(platform, cache);
+                    for profile in profiles {
+                        let _ = engine.sweep(profile);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 8);
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert!(stats.misses >= 8, "every distinct profile misses at least once");
     }
 
     #[test]

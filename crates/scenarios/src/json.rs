@@ -1,0 +1,298 @@
+//! Minimal JSON parser for the trace format.
+//!
+//! The workspace's offline `serde_json` shim only *encodes* (nothing in the
+//! seed deserialised), but trace replay must parse what the recorder wrote.
+//! This module is a small recursive-descent parser over the JSON subset the
+//! trace format emits: objects, arrays, strings, integer/float numbers,
+//! booleans and null.  Numbers keep their literal text so `u64` bit patterns
+//! (which do not round-trip through `f64`) parse exactly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.  Numbers keep the source literal so integer bit
+/// patterns survive untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, as its source literal.
+    Number(String),
+    /// A string literal (escapes resolved).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; BTreeMap keeps iteration deterministic.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The value as `u64`, if it is an unsigned integer literal.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(text) => text.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`, if it is an unsigned integer literal.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Number(text) => text.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object member.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what was expected and the byte offset it failed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What the parser expected.
+    pub expected: &'static str,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document, requiring it to span the whole input.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError { expected: "end of input", offset: pos });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8, what: &'static str) -> Result<(), JsonError> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError { expected: what, offset: *pos })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        _ => Err(JsonError { expected: "a JSON value", offset: *pos }),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &'static str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(JsonError { expected: literal, offset: *pos })
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(JsonError { expected: "digits", offset: *pos });
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError { expected: "UTF-8 number", offset: start })?;
+    Ok(JsonValue::Number(text.to_owned()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"', "a string")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError { expected: "closing quote", offset: *pos }),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError { expected: "\\uXXXX escape", offset: *pos })?;
+                        out.push(
+                            char::from_u32(hex)
+                                .ok_or(JsonError { expected: "valid codepoint", offset: *pos })?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError { expected: "escape character", offset: *pos }),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (1–4 bytes).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError { expected: "UTF-8 text", offset: *pos })?;
+                let c = rest.chars().next().expect("non-empty by the match");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect(bytes, pos, b'[', "an array")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(JsonError { expected: "',' or ']'", offset: *pos }),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect(bytes, pos, b'{', "an object")?;
+    let mut members = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':', "':'")?;
+        members.insert(key, parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(JsonError { expected: "',' or '}'", offset: *pos }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_trace_subset() {
+        let doc =
+            r#"{"a":1,"b":[2.5,-3,true,null],"c":{"nested":"va\"lue"},"big":18446744073709551615}"#;
+        let value = parse(doc).expect("valid document");
+        assert_eq!(value.get("a").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(value.get("big").and_then(JsonValue::as_u64), Some(u64::MAX));
+        let items = value.get("b").and_then(JsonValue::as_array).expect("array");
+        assert_eq!(items.len(), 4);
+        assert_eq!(items[1], JsonValue::Number("-3".to_owned()));
+        assert_eq!(items[2], JsonValue::Bool(true));
+        assert_eq!(items[3], JsonValue::Null);
+        assert_eq!(
+            value.get("c").and_then(|c| c.get("nested")).and_then(JsonValue::as_str),
+            Some("va\"lue")
+        );
+    }
+
+    #[test]
+    fn round_trips_the_shim_encoder() {
+        // What the vendored serde shim writes, this parser must read.
+        let encoded = serde_json::to_string(&vec![Some(1.25f64), None]).expect("encodes");
+        let parsed = parse(&encoded).expect("parses");
+        let items = parsed.as_array().expect("array");
+        assert_eq!(items[0], JsonValue::Number("1.25".to_owned()));
+        assert_eq!(items[1], JsonValue::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nope").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+        let err = parse("").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+}

@@ -1,0 +1,450 @@
+//! Fleet-scale stress serving: stream generated users into the driver.
+//!
+//! [`FleetSource`] adapts a [`ScenarioGenerator`] into the driver's streaming
+//! [`ScenarioSource`]: users are manufactured on demand as workers claim them
+//! (never materialised up front) and released according to an
+//! [`ArrivalSchedule`] — constant spacing, bursts or a ramp — so the serving
+//! stack is exercised under realistic admission patterns, not just a
+//! pre-loaded queue.  [`FleetStress`] wraps the whole loop and aggregates
+//! *fleet* telemetry on top of the driver's: per-family decision counts,
+//! energy and oracle agreement, plus energy deltas against baseline governor
+//! fleets over the identical scenario stream.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use soclearn_governors::{InteractiveGovernor, OndemandGovernor};
+use soclearn_oracle::OracleObjective;
+use soclearn_runtime::{
+    DriverTelemetry, ScenarioDriver, ScenarioRecord, ScenarioSource, ScenarioSpec,
+};
+use soclearn_soc_sim::{DvfsPolicy, SocPlatform};
+
+use crate::generator::ScenarioGenerator;
+
+/// When each generated user becomes available to the worker pool.
+///
+/// Schedules are expressed in wall-clock time; [`ArrivalSchedule::Immediate`]
+/// (the default for tests and CI) admits everyone up front.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSchedule {
+    /// Every user is available immediately.
+    Immediate,
+    /// One user every `interval`.
+    Constant {
+        /// Spacing between arrivals.
+        interval: Duration,
+    },
+    /// `burst` users arrive together, then a `gap` of silence.
+    Bursty {
+        /// Users per burst.
+        burst: usize,
+        /// Pause between bursts.
+        gap: Duration,
+    },
+    /// Arrival spacing shrinks linearly from `start` to `end` over the fleet —
+    /// a load ramp.
+    Ramp {
+        /// Spacing at the first arrival.
+        start: Duration,
+        /// Spacing at the last arrival.
+        end: Duration,
+    },
+}
+
+impl ArrivalSchedule {
+    /// Offset from the run start at which user `index` of `total` arrives.
+    pub fn arrival_offset(&self, index: usize, total: usize) -> Duration {
+        match *self {
+            ArrivalSchedule::Immediate => Duration::ZERO,
+            ArrivalSchedule::Constant { interval } => interval * index as u32,
+            ArrivalSchedule::Bursty { burst, gap } => gap * (index / burst.max(1)) as u32,
+            ArrivalSchedule::Ramp { start, end } => {
+                // Sum of a linearly interpolated spacing sequence.
+                let n = total.max(2) as f64 - 1.0;
+                let mut offset = 0.0;
+                for i in 0..index {
+                    let t = i as f64 / n;
+                    offset += start.as_secs_f64() + (end.as_secs_f64() - start.as_secs_f64()) * t;
+                }
+                Duration::from_secs_f64(offset)
+            }
+        }
+    }
+}
+
+/// Streaming [`ScenarioSource`] over a [`ScenarioGenerator`]: scenario `i` is
+/// generated when (and only when) a worker claims it, after its scheduled
+/// arrival time has passed.
+///
+/// A source is **single use**: once its `users` scenarios have been claimed
+/// (by one `run_stream` call) it stays drained, and its arrival clock starts
+/// at the first claim.  Build a fresh `FleetSource` for every run — the
+/// generator behind it is cheap to share via `Arc` and produces the identical
+/// fleet each time.
+pub struct FleetSource {
+    generator: Arc<ScenarioGenerator>,
+    users: usize,
+    schedule: ArrivalSchedule,
+    next: AtomicUsize,
+    started: OnceLock<Instant>,
+}
+
+impl FleetSource {
+    /// Creates a source serving `users` scenarios from `generator`.
+    pub fn new(generator: Arc<ScenarioGenerator>, users: usize, schedule: ArrivalSchedule) -> Self {
+        Self { generator, users, schedule, next: AtomicUsize::new(0), started: OnceLock::new() }
+    }
+
+    /// The generator behind the source.
+    pub fn generator(&self) -> &ScenarioGenerator {
+        &self.generator
+    }
+
+    /// Users this source will admit in total.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+}
+
+impl ScenarioSource for FleetSource {
+    fn next_scenario(&self) -> Option<(usize, ScenarioSpec)> {
+        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        if index >= self.users {
+            return None;
+        }
+        let started = *self.started.get_or_init(Instant::now);
+        let due = self.schedule.arrival_offset(index, self.users);
+        loop {
+            let elapsed = started.elapsed();
+            if elapsed >= due {
+                break;
+            }
+            std::thread::sleep((due - elapsed).min(Duration::from_millis(5)));
+        }
+        Some((index, self.generator.scenario(index)))
+    }
+}
+
+/// Per-family slice of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyTelemetry {
+    /// Family name.
+    pub family: String,
+    /// Scenarios served from this family.
+    pub scenarios: usize,
+    /// Decisions served.
+    pub decisions: usize,
+    /// Simulated energy, joules.
+    pub energy_j: f64,
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Fraction of decisions matching the Oracle reference, when scored.
+    pub oracle_agreement: Option<f64>,
+}
+
+/// Aggregated outcome of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Policy family the fleet served.
+    pub policy: String,
+    /// Driver-level telemetry (throughput, latency histogram, cache stats).
+    pub telemetry: DriverTelemetry,
+    /// Per-family breakdown, in generator family order.
+    pub families: Vec<FamilyTelemetry>,
+    /// The raw per-scenario recordings (trace-layer input).
+    pub records: Vec<ScenarioRecord>,
+}
+
+impl FleetReport {
+    /// Looks up a family's slice by name.
+    pub fn family(&self, name: &str) -> Option<&FamilyTelemetry> {
+        self.families.iter().find(|f| f.family == name)
+    }
+}
+
+/// Energy comparison of one policy fleet against a baseline fleet over the
+/// identical scenario stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyEnergyDelta {
+    /// Family name.
+    pub family: String,
+    /// Policy fleet energy, joules.
+    pub policy_energy_j: f64,
+    /// Baseline fleet energy, joules.
+    pub baseline_energy_j: f64,
+}
+
+impl FamilyEnergyDelta {
+    /// Policy energy as a fraction of the baseline (`< 1` means the policy
+    /// saved energy).
+    pub fn ratio(&self) -> f64 {
+        self.policy_energy_j / self.baseline_energy_j.max(1e-12)
+    }
+}
+
+/// The closed-loop fleet harness: a generator, a user count, a worker pool and
+/// an arrival schedule, runnable against any policy factory.
+pub struct FleetStress {
+    platform: SocPlatform,
+    generator: Arc<ScenarioGenerator>,
+    users: usize,
+    workers: usize,
+    schedule: ArrivalSchedule,
+    oracle_reference: Option<OracleObjective>,
+}
+
+impl FleetStress {
+    /// Creates a fleet harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` or `workers` is zero.
+    pub fn new(
+        platform: SocPlatform,
+        generator: ScenarioGenerator,
+        users: usize,
+        workers: usize,
+    ) -> Self {
+        assert!(users > 0, "fleet needs at least one user");
+        assert!(workers > 0, "fleet needs at least one worker");
+        Self {
+            platform,
+            generator: Arc::new(generator),
+            users,
+            workers,
+            schedule: ArrivalSchedule::Immediate,
+            oracle_reference: None,
+        }
+    }
+
+    /// Sets the arrival schedule (default: everyone immediately).
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: ArrivalSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Scores every decision against an Oracle reference under `objective`.
+    #[must_use]
+    pub fn with_oracle_reference(mut self, objective: OracleObjective) -> Self {
+        self.oracle_reference = Some(objective);
+        self
+    }
+
+    /// The generator users are drawn from.
+    pub fn generator(&self) -> &ScenarioGenerator {
+        &self.generator
+    }
+
+    /// Streams the fleet through a [`ScenarioDriver`] serving policies from
+    /// `make_policy`, recording every decision and aggregating per-family
+    /// telemetry.
+    pub fn run<F>(&self, make_policy: F) -> FleetReport
+    where
+        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
+        let mut driver = ScenarioDriver::new(self.platform.clone(), self.workers);
+        if let Some(objective) = self.oracle_reference {
+            driver = driver.with_oracle_reference(objective);
+        }
+        let source = FleetSource::new(Arc::clone(&self.generator), self.users, self.schedule);
+        let (telemetry, records) = driver.run_recorded(&source, &make_policy);
+
+        let mut families: Vec<FamilyTelemetry> = self
+            .generator
+            .families()
+            .iter()
+            .map(|f| FamilyTelemetry {
+                family: f.name(),
+                scenarios: 0,
+                decisions: 0,
+                energy_j: 0.0,
+                time_s: 0.0,
+                oracle_agreement: None,
+            })
+            .collect();
+        let mut matches = vec![0usize; families.len()];
+        let mut scored = vec![false; families.len()];
+        for record in &records {
+            let slot = self.generator.family_index_of(record.index);
+            let family = &mut families[slot];
+            family.scenarios += 1;
+            family.decisions += record.decisions.len();
+            family.energy_j += record.decisions.iter().map(|d| d.energy_j).sum::<f64>();
+            family.time_s += record.decisions.iter().map(|d| d.time_s).sum::<f64>();
+            if let Some(m) = record.oracle_matches {
+                matches[slot] += m;
+                scored[slot] = true;
+            }
+        }
+        for ((family, &matched), &scored) in families.iter_mut().zip(&matches).zip(&scored) {
+            if scored && family.decisions > 0 {
+                family.oracle_agreement = Some(matched as f64 / family.decisions as f64);
+            }
+        }
+        let policy = records.first().map(|r| r.policy.clone()).unwrap_or_default();
+        FleetReport { policy, telemetry, families, records }
+    }
+
+    /// Runs the policy fleet plus *ondemand* and *interactive* governor fleets
+    /// over the identical scenario stream and returns the three reports
+    /// together with per-family energy deltas of the policy against each
+    /// governor (in the order `[vs-ondemand, vs-interactive]`).
+    pub fn run_against_governors<F>(
+        &self,
+        make_policy: F,
+    ) -> (FleetReport, [FleetReport; 2], [Vec<FamilyEnergyDelta>; 2])
+    where
+        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
+        let policy_report = self.run(make_policy);
+        let platform = self.platform.clone();
+        let ondemand = self.run(|_, _| Box::new(OndemandGovernor::new(&platform)));
+        let interactive = self.run(|_, _| Box::new(InteractiveGovernor::new()));
+        let deltas = [&ondemand, &interactive].map(|baseline| {
+            policy_report
+                .families
+                .iter()
+                .zip(&baseline.families)
+                .map(|(p, b)| FamilyEnergyDelta {
+                    family: p.family.clone(),
+                    policy_energy_j: p.energy_j,
+                    baseline_energy_j: b.energy_j,
+                })
+                .collect()
+        });
+        (policy_report, [ondemand, interactive], deltas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soclearn_runtime::SliceSource;
+
+    fn generator() -> ScenarioGenerator {
+        ScenarioGenerator::standard(21, 6)
+    }
+
+    #[test]
+    fn arrival_schedules_are_monotone() {
+        let schedules = [
+            ArrivalSchedule::Immediate,
+            ArrivalSchedule::Constant { interval: Duration::from_millis(2) },
+            ArrivalSchedule::Bursty { burst: 3, gap: Duration::from_millis(4) },
+            ArrivalSchedule::Ramp {
+                start: Duration::from_millis(4),
+                end: Duration::from_millis(1),
+            },
+        ];
+        for schedule in schedules {
+            let offsets: Vec<Duration> = (0..10).map(|i| schedule.arrival_offset(i, 10)).collect();
+            assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "{schedule:?} not monotone");
+        }
+        // A ramp tightens its spacing.
+        let ramp = ArrivalSchedule::Ramp {
+            start: Duration::from_millis(4),
+            end: Duration::from_millis(1),
+        };
+        let early = ramp.arrival_offset(1, 10) - ramp.arrival_offset(0, 10);
+        let late = ramp.arrival_offset(9, 10) - ramp.arrival_offset(8, 10);
+        assert!(late < early, "ramp spacing must shrink ({early:?} -> {late:?})");
+        // Bursts arrive together.
+        let bursty = ArrivalSchedule::Bursty { burst: 3, gap: Duration::from_millis(4) };
+        assert_eq!(bursty.arrival_offset(0, 10), bursty.arrival_offset(2, 10));
+        assert!(bursty.arrival_offset(3, 10) > bursty.arrival_offset(2, 10));
+    }
+
+    #[test]
+    fn fleet_source_streams_the_generator_exactly() {
+        let platform = SocPlatform::small();
+        let generator = Arc::new(generator());
+        let source = FleetSource::new(Arc::clone(&generator), 8, ArrivalSchedule::Immediate);
+        let driver = ScenarioDriver::new(platform.clone(), 3);
+        let telemetry =
+            driver.run_stream(&source, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        assert_eq!(telemetry.scenarios, 8);
+        let expected: usize = (0..8).map(|i| generator.scenario(i).profiles.len()).sum();
+        assert_eq!(telemetry.decisions, expected);
+    }
+
+    #[test]
+    fn streaming_matches_materialised_serving() {
+        // The streamed fleet and the same scenarios pre-materialised must
+        // produce identical simulated telemetry (single worker: bit-exact).
+        let platform = SocPlatform::small();
+        let generator = Arc::new(generator());
+        let driver = ScenarioDriver::new(platform.clone(), 1);
+        let source = FleetSource::new(Arc::clone(&generator), 6, ArrivalSchedule::Immediate);
+        let streamed =
+            driver.run_stream(&source, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        let materialised: Vec<ScenarioSpec> = generator.scenarios(6);
+        let sliced = driver.run_stream(&SliceSource::new(&materialised), |_, _| {
+            Box::new(OndemandGovernor::new(&platform))
+        });
+        assert_eq!(streamed.decisions, sliced.decisions);
+        assert_eq!(streamed.total_energy_j.to_bits(), sliced.total_energy_j.to_bits());
+        assert_eq!(streamed.simulated_time_s.to_bits(), sliced.simulated_time_s.to_bits());
+    }
+
+    #[test]
+    fn fleet_report_partitions_by_family() {
+        let platform = SocPlatform::small();
+        let fleet = FleetStress::new(platform.clone(), generator(), 8, 2)
+            .with_oracle_reference(OracleObjective::Energy);
+        let report = fleet.run(|_, _| Box::new(OndemandGovernor::new(&platform)));
+        assert_eq!(report.policy, "ondemand");
+        assert_eq!(report.families.len(), 4);
+        // 8 users round-robin over 4 families = 2 scenarios each.
+        for family in &report.families {
+            assert_eq!(family.scenarios, 2, "family {}", family.family);
+            assert!(family.decisions > 0);
+            assert!(family.energy_j > 0.0);
+            let agreement = family.oracle_agreement.expect("oracle reference was on");
+            assert!((0.0..=1.0).contains(&agreement));
+        }
+        let total: f64 = report.families.iter().map(|f| f.energy_j).sum();
+        assert!((total - report.telemetry.total_energy_j).abs() < 1e-9);
+        assert!(report.family("bursty-compute").is_some());
+        assert_eq!(report.records.len(), 8);
+    }
+
+    #[test]
+    fn governor_comparison_covers_every_family() {
+        let platform = SocPlatform::small();
+        let fleet = FleetStress::new(platform.clone(), generator(), 4, 2);
+        let (report, [ondemand, interactive], deltas) = fleet.run_against_governors(|_, _| {
+            Box::new(soclearn_soc_sim::FixedConfigPolicy::new(platform.min_config()))
+        });
+        assert_eq!(report.families.len(), 4);
+        assert_eq!(ondemand.policy, "ondemand");
+        assert_eq!(interactive.policy, "interactive");
+        for delta_set in &deltas {
+            assert_eq!(delta_set.len(), 4);
+            for delta in delta_set {
+                assert!(delta.policy_energy_j > 0.0 && delta.baseline_energy_j > 0.0);
+                assert!(delta.ratio() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_arrivals_actually_pace_the_stream() {
+        let platform = SocPlatform::small();
+        let generator = Arc::new(ScenarioGenerator::standard(5, 3));
+        let source = FleetSource::new(
+            Arc::clone(&generator),
+            4,
+            ArrivalSchedule::Constant { interval: Duration::from_millis(8) },
+        );
+        let driver = ScenarioDriver::new(platform.clone(), 2);
+        let started = Instant::now();
+        let telemetry =
+            driver.run_stream(&source, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        assert_eq!(telemetry.scenarios, 4);
+        // The last user is only admitted at 3 * 8 ms.
+        assert!(started.elapsed() >= Duration::from_millis(24));
+    }
+}

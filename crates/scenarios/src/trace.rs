@@ -1,0 +1,644 @@
+//! Versioned JSONL trace record/replay.
+//!
+//! A trace is the full per-decision story of a [`ScenarioDriver`] run: for
+//! every decision the snippet profile, the configuration the policy chose, the
+//! thermal state the decision was made at, and the telemetry the simulator
+//! produced.  The format is line-oriented JSON (JSONL):
+//!
+//! ```text
+//! {"format":"soclearn-trace","version":1,"scenarios":2}
+//! {"scenario":{"index":0,"name":"user-0","policy":"ondemand","oracle_matches":null,"decisions":3}}
+//! {"i":0,"profile":{...},"little":0,"big":3,"big_temp":4631166901565532406,...}
+//! ...
+//! ```
+//!
+//! Every `f64` is stored as its IEEE-754 **bit pattern** (a `u64`), so a
+//! parsed trace is bit-identical to the recorded one — no decimal round-trip
+//! is involved — and [`replay`] can re-execute the recorded decisions on a
+//! fresh simulator and verify it reproduces the recorded telemetry
+//! bit-for-bit (the simulator is deterministic, so exact-mode recordings
+//! always replay bit-identically).  [`TraceDiff`] compares two runs over the
+//! same snippet stream, the tool for "what did policy B do differently on
+//! this exact workload?".
+//!
+//! [`ScenarioDriver`]: soclearn_runtime::ScenarioDriver
+
+use std::fmt;
+
+use soclearn_runtime::{DecisionRecord, ScenarioRecord};
+use soclearn_soc_sim::{DvfsConfig, SnippetCounters, SocPlatform, SocSimulator};
+use soclearn_workloads::{SnippetPhase, SnippetProfile};
+
+use crate::json::{parse, JsonError, JsonValue};
+
+/// Version of the trace format this module writes.
+pub const TRACE_VERSION: u32 = 1;
+
+/// One decision of a recorded scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDecision {
+    /// Snippet index within the scenario.
+    pub index: usize,
+    /// The snippet that executed.
+    pub profile: SnippetProfile,
+    /// Configuration the policy chose.
+    pub config: DvfsConfig,
+    /// Big-cluster temperature (°C) when the snippet started.
+    pub big_temp_c: f64,
+    /// LITTLE-cluster temperature (°C) when the snippet started.
+    pub little_temp_c: f64,
+    /// Energy of the snippet, joules.
+    pub energy_j: f64,
+    /// Execution time of the snippet, seconds.
+    pub time_s: f64,
+    /// Counters observed while the snippet executed.
+    pub counters: SnippetCounters,
+}
+
+/// One recorded scenario: a named decision stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTrace {
+    /// Stable scenario index from the driver's source.
+    pub index: usize,
+    /// Scenario name.
+    pub name: String,
+    /// Policy that served the scenario.
+    pub policy: String,
+    /// Oracle-agreement matches, when the driver ran with a reference.
+    pub oracle_matches: Option<usize>,
+    /// The decisions in execution order.
+    pub decisions: Vec<TraceDecision>,
+}
+
+impl ScenarioTrace {
+    /// Total recorded energy, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.decisions.iter().map(|d| d.energy_j).sum()
+    }
+
+    /// Total recorded execution time, seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.decisions.iter().map(|d| d.time_s).sum()
+    }
+
+    /// The recorded snippet stream.
+    pub fn profiles(&self) -> Vec<SnippetProfile> {
+        self.decisions.iter().map(|d| d.profile.clone()).collect()
+    }
+}
+
+/// A full recorded run: every scenario of one `run_recorded` call.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// The recorded scenarios, sorted by index.
+    pub scenarios: Vec<ScenarioTrace>,
+}
+
+/// Why a trace failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A line was not valid JSON.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying parse failure.
+        error: JsonError,
+    },
+    /// The JSON was valid but not a well-formed trace.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json { line, error } => write!(f, "line {line}: {error}"),
+            TraceError::Format { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn phase_name(phase: SnippetPhase) -> &'static str {
+    match phase {
+        SnippetPhase::Compute => "Compute",
+        SnippetPhase::Memory => "Memory",
+        SnippetPhase::Branchy => "Branchy",
+        SnippetPhase::Mixed => "Mixed",
+    }
+}
+
+fn phase_from(name: &str) -> Option<SnippetPhase> {
+    SnippetPhase::ALL.into_iter().find(|&p| phase_name(p) == name)
+}
+
+/// Field order of the `counters` bit array, part of the v1 format.
+const COUNTER_FIELDS: usize = 9;
+
+fn counters_bits(c: &SnippetCounters) -> [u64; COUNTER_FIELDS] {
+    [
+        c.instructions_retired.to_bits(),
+        c.cpu_cycles_total.to_bits(),
+        c.branch_mispredictions_per_core.to_bits(),
+        c.l2_cache_misses.to_bits(),
+        c.data_memory_accesses.to_bits(),
+        c.external_memory_requests.to_bits(),
+        c.little_cluster_utilization.to_bits(),
+        c.big_cluster_utilization.to_bits(),
+        c.total_chip_power_w.to_bits(),
+    ]
+}
+
+fn counters_from_bits(bits: &[u64; COUNTER_FIELDS]) -> SnippetCounters {
+    SnippetCounters {
+        instructions_retired: f64::from_bits(bits[0]),
+        cpu_cycles_total: f64::from_bits(bits[1]),
+        branch_mispredictions_per_core: f64::from_bits(bits[2]),
+        l2_cache_misses: f64::from_bits(bits[3]),
+        data_memory_accesses: f64::from_bits(bits[4]),
+        external_memory_requests: f64::from_bits(bits[5]),
+        little_cluster_utilization: f64::from_bits(bits[6]),
+        big_cluster_utilization: f64::from_bits(bits[7]),
+        total_chip_power_w: f64::from_bits(bits[8]),
+    }
+}
+
+impl From<&DecisionRecord> for TraceDecision {
+    fn from(record: &DecisionRecord) -> Self {
+        Self {
+            index: record.index,
+            profile: record.profile.clone(),
+            config: record.config,
+            big_temp_c: record.big_temp_c,
+            little_temp_c: record.little_temp_c,
+            energy_j: record.energy_j,
+            time_s: record.time_s,
+            counters: record.counters,
+        }
+    }
+}
+
+impl From<&ScenarioRecord> for ScenarioTrace {
+    fn from(record: &ScenarioRecord) -> Self {
+        Self {
+            index: record.index,
+            name: record.name.clone(),
+            policy: record.policy.clone(),
+            oracle_matches: record.oracle_matches,
+            decisions: record.decisions.iter().map(TraceDecision::from).collect(),
+        }
+    }
+}
+
+impl Trace {
+    /// Builds a trace from the records a
+    /// [`ScenarioDriver::run_recorded`](soclearn_runtime::ScenarioDriver::run_recorded)
+    /// call returned.
+    pub fn from_records(records: &[ScenarioRecord]) -> Self {
+        Self { scenarios: records.iter().map(ScenarioTrace::from).collect() }
+    }
+
+    /// Serialises the trace to JSONL (ends with a trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"format\":\"soclearn-trace\",\"version\":{TRACE_VERSION},\"scenarios\":{}}}\n",
+            self.scenarios.len()
+        ));
+        for scenario in &self.scenarios {
+            let matches = scenario.oracle_matches.map_or("null".to_owned(), |m| m.to_string());
+            out.push_str(&format!(
+                "{{\"scenario\":{{\"index\":{},\"name\":{},\"policy\":{},\"oracle_matches\":{},\"decisions\":{}}}}}\n",
+                scenario.index,
+                serde_json::to_string(&scenario.name).expect("string encodes"),
+                serde_json::to_string(&scenario.policy).expect("string encodes"),
+                matches,
+                scenario.decisions.len()
+            ));
+            for d in &scenario.decisions {
+                let p = &d.profile;
+                let counters = counters_bits(&d.counters);
+                out.push_str(&format!(
+                    "{{\"i\":{},\"profile\":{{\"instructions\":{},\"phase\":\"{}\",\"memory_access_fraction\":{},\"l2_mpki\":{},\"external_memory_fraction\":{},\"branch_misprediction_pki\":{},\"ilp\":{},\"thread_count\":{},\"parallel_fraction\":{}}},\"little\":{},\"big\":{},\"big_temp\":{},\"little_temp\":{},\"energy\":{},\"time\":{},\"counters\":[{}]}}\n",
+                    d.index,
+                    p.instructions,
+                    phase_name(p.phase),
+                    p.memory_access_fraction.to_bits(),
+                    p.l2_mpki.to_bits(),
+                    p.external_memory_fraction.to_bits(),
+                    p.branch_misprediction_pki.to_bits(),
+                    p.ilp.to_bits(),
+                    p.thread_count,
+                    p.parallel_fraction.to_bits(),
+                    d.config.little_idx,
+                    d.config.big_idx,
+                    d.big_temp_c.to_bits(),
+                    d.little_temp_c.to_bits(),
+                    d.energy_j.to_bits(),
+                    d.time_s.to_bits(),
+                    counters.map(|b| b.to_string()).join(","),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses a JSONL trace written by [`Trace::to_jsonl`].
+    pub fn from_jsonl(input: &str) -> Result<Self, TraceError> {
+        let mut lines = input
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .map(|(i, l)| (i + 1, l));
+        let (line_no, header) = lines
+            .next()
+            .ok_or(TraceError::Format { line: 1, message: "empty trace".into() })?;
+        let header = parse_line(line_no, header)?;
+        let version = header
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format_err(line_no, "missing trace version"))?;
+        if header.get("format").and_then(JsonValue::as_str) != Some("soclearn-trace") {
+            return Err(format_err(line_no, "not a soclearn trace"));
+        }
+        if version != u64::from(TRACE_VERSION) {
+            return Err(format_err(line_no, &format!("unsupported trace version {version}")));
+        }
+        let scenario_count = header
+            .get("scenarios")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| format_err(line_no, "missing scenario count"))?;
+
+        let mut scenarios = Vec::with_capacity(scenario_count);
+        for _ in 0..scenario_count {
+            let (line_no, raw) = lines
+                .next()
+                .ok_or_else(|| format_err(0, "truncated trace: missing scenario header"))?;
+            let value = parse_line(line_no, raw)?;
+            let header = value
+                .get("scenario")
+                .ok_or_else(|| format_err(line_no, "expected a scenario header"))?;
+            let decisions_count = header
+                .get("decisions")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| format_err(line_no, "scenario missing decision count"))?;
+            let mut scenario = ScenarioTrace {
+                index: header
+                    .get("index")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or_else(|| format_err(line_no, "scenario missing index"))?,
+                name: header
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format_err(line_no, "scenario missing name"))?
+                    .to_owned(),
+                policy: header
+                    .get("policy")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format_err(line_no, "scenario missing policy"))?
+                    .to_owned(),
+                oracle_matches: match header.get("oracle_matches") {
+                    Some(JsonValue::Null) | None => None,
+                    Some(value) => Some(
+                        value
+                            .as_usize()
+                            .ok_or_else(|| format_err(line_no, "bad oracle_matches"))?,
+                    ),
+                },
+                decisions: Vec::with_capacity(decisions_count),
+            };
+            for _ in 0..decisions_count {
+                let (line_no, raw) = lines
+                    .next()
+                    .ok_or_else(|| format_err(0, "truncated trace: missing decision"))?;
+                scenario.decisions.push(parse_decision(line_no, raw)?);
+            }
+            scenarios.push(scenario);
+        }
+        if let Some((line_no, _)) = lines.next() {
+            return Err(format_err(
+                line_no,
+                "trailing data after the declared scenario count (concatenated traces?)",
+            ));
+        }
+        Ok(Self { scenarios })
+    }
+}
+
+fn format_err(line: usize, message: &str) -> TraceError {
+    TraceError::Format { line, message: message.to_owned() }
+}
+
+fn parse_line(line: usize, raw: &str) -> Result<JsonValue, TraceError> {
+    parse(raw).map_err(|error| TraceError::Json { line, error })
+}
+
+fn field_u64(value: &JsonValue, key: &str, line: usize) -> Result<u64, TraceError> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format_err(line, &format!("missing field '{key}'")))
+}
+
+fn field_f64_bits(value: &JsonValue, key: &str, line: usize) -> Result<f64, TraceError> {
+    Ok(f64::from_bits(field_u64(value, key, line)?))
+}
+
+fn parse_decision(line: usize, raw: &str) -> Result<TraceDecision, TraceError> {
+    let value = parse_line(line, raw)?;
+    let profile = value
+        .get("profile")
+        .ok_or_else(|| format_err(line, "decision missing profile"))?;
+    let phase = profile
+        .get("phase")
+        .and_then(JsonValue::as_str)
+        .and_then(phase_from)
+        .ok_or_else(|| format_err(line, "bad snippet phase"))?;
+    // Bit patterns restore the exact recorded floats; the clamping constructor
+    // must not run here, so the struct is built literally.
+    let profile = SnippetProfile {
+        instructions: field_u64(profile, "instructions", line)?,
+        phase,
+        memory_access_fraction: field_f64_bits(profile, "memory_access_fraction", line)?,
+        l2_mpki: field_f64_bits(profile, "l2_mpki", line)?,
+        external_memory_fraction: field_f64_bits(profile, "external_memory_fraction", line)?,
+        branch_misprediction_pki: field_f64_bits(profile, "branch_misprediction_pki", line)?,
+        ilp: field_f64_bits(profile, "ilp", line)?,
+        thread_count: field_u64(profile, "thread_count", line)? as u32,
+        parallel_fraction: field_f64_bits(profile, "parallel_fraction", line)?,
+    };
+    let counters_raw = value
+        .get("counters")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format_err(line, "decision missing counters"))?;
+    if counters_raw.len() != COUNTER_FIELDS {
+        return Err(format_err(line, "counters array has the wrong arity"));
+    }
+    let mut bits = [0u64; COUNTER_FIELDS];
+    for (slot, value) in bits.iter_mut().zip(counters_raw) {
+        *slot = value.as_u64().ok_or_else(|| format_err(line, "bad counter bits"))?;
+    }
+    Ok(TraceDecision {
+        index: field_u64(&value, "i", line)? as usize,
+        profile,
+        config: DvfsConfig::new(
+            field_u64(&value, "little", line)? as usize,
+            field_u64(&value, "big", line)? as usize,
+        ),
+        big_temp_c: field_f64_bits(&value, "big_temp", line)?,
+        little_temp_c: field_f64_bits(&value, "little_temp", line)?,
+        energy_j: field_f64_bits(&value, "energy", line)?,
+        time_s: field_f64_bits(&value, "time", line)?,
+        counters: counters_from_bits(&bits),
+    })
+}
+
+/// Outcome of replaying one recorded scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Decisions replayed.
+    pub decisions: usize,
+    /// Whether every replayed value matched the recording bit-for-bit.
+    pub bit_identical: bool,
+    /// First decision index whose replay diverged, if any.
+    pub first_divergence: Option<usize>,
+    /// Replayed total energy, joules.
+    pub total_energy_j: f64,
+    /// Replayed total time, seconds.
+    pub total_time_s: f64,
+}
+
+/// Replays a recorded scenario deterministically: re-executes the recorded
+/// profiles at the recorded configurations on a fresh simulator for
+/// `platform`, comparing thermal state, energy, time and counters against the
+/// recording bit-for-bit.
+///
+/// An exact-serving recording replays bit-identically; a quantised-serving
+/// recording (whose executions were served from bucketed sweeps) reports its
+/// first divergence instead, which is precisely how far quantisation bent the
+/// telemetry.
+pub fn replay(scenario: &ScenarioTrace, platform: &SocPlatform) -> ReplayReport {
+    let mut sim = SocSimulator::new(platform.clone());
+    let mut first_divergence = None;
+    let mut total_energy_j = 0.0;
+    let mut total_time_s = 0.0;
+    for decision in &scenario.decisions {
+        let temps_match = sim.big_temperature_c().to_bits() == decision.big_temp_c.to_bits()
+            && sim.little_temperature_c().to_bits() == decision.little_temp_c.to_bits();
+        let result = sim.execute_snippet(&decision.profile, decision.config);
+        total_energy_j += result.energy_j;
+        total_time_s += result.time_s;
+        let matches = temps_match
+            && result.energy_j.to_bits() == decision.energy_j.to_bits()
+            && result.time_s.to_bits() == decision.time_s.to_bits()
+            && result.counters == decision.counters;
+        if !matches && first_divergence.is_none() {
+            first_divergence = Some(decision.index);
+        }
+    }
+    ReplayReport {
+        decisions: scenario.decisions.len(),
+        bit_identical: first_divergence.is_none(),
+        first_divergence,
+        total_energy_j,
+        total_time_s,
+    }
+}
+
+/// Comparison of two policy runs over the same snippet stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Decisions compared (the shorter of the two runs).
+    pub decisions: usize,
+    /// Whether both runs executed the identical snippet stream.
+    pub profiles_match: bool,
+    /// Decisions where the two runs chose different configurations.
+    pub config_mismatches: usize,
+    /// First decision index where the chosen configurations diverged.
+    pub first_config_divergence: Option<usize>,
+    /// Total energy of run A, joules.
+    pub energy_a_j: f64,
+    /// Total energy of run B, joules.
+    pub energy_b_j: f64,
+    /// Total time of run A, seconds.
+    pub time_a_s: f64,
+    /// Total time of run B, seconds.
+    pub time_b_s: f64,
+}
+
+impl TraceDiff {
+    /// Compares two recorded scenarios decision by decision.
+    pub fn between(a: &ScenarioTrace, b: &ScenarioTrace) -> Self {
+        let decisions = a.decisions.len().min(b.decisions.len());
+        let mut config_mismatches = 0;
+        let mut first_config_divergence = None;
+        let mut profiles_match = a.decisions.len() == b.decisions.len();
+        for (i, (da, db)) in a.decisions.iter().zip(&b.decisions).enumerate() {
+            if da.profile != db.profile {
+                profiles_match = false;
+            }
+            if da.config != db.config {
+                config_mismatches += 1;
+                if first_config_divergence.is_none() {
+                    first_config_divergence = Some(i);
+                }
+            }
+        }
+        Self {
+            decisions,
+            profiles_match,
+            config_mismatches,
+            first_config_divergence,
+            energy_a_j: a.total_energy_j(),
+            energy_b_j: b.total_energy_j(),
+            time_a_s: a.total_time_s(),
+            time_b_s: b.total_time_s(),
+        }
+    }
+
+    /// Relative energy of run B vs run A (`> 1` means B used more energy).
+    pub fn energy_ratio(&self) -> f64 {
+        self.energy_b_j / self.energy_a_j.max(1e-12)
+    }
+
+    /// Human-readable one-paragraph summary.
+    pub fn render(&self, a: &str, b: &str) -> String {
+        format!(
+            "{a} vs {b}: {} decisions, {} config mismatches (first at {}), profiles {}; \
+             energy {:.2} J vs {:.2} J ({:.1}%), time {:.2} s vs {:.2} s",
+            self.decisions,
+            self.config_mismatches,
+            self.first_config_divergence.map_or("-".to_owned(), |i| i.to_string()),
+            if self.profiles_match { "identical" } else { "DIFFER" },
+            self.energy_a_j,
+            self.energy_b_j,
+            self.energy_ratio() * 100.0,
+            self.time_a_s,
+            self.time_b_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soclearn_governors::OndemandGovernor;
+    use soclearn_runtime::{ScenarioDriver, ScenarioSpec, SliceSource};
+
+    fn recorded_trace() -> (SocPlatform, Trace) {
+        let platform = SocPlatform::small();
+        let specs = vec![
+            ScenarioSpec::new(
+                "alpha",
+                vec![
+                    SnippetProfile::compute_bound(40_000_000),
+                    SnippetProfile::memory_bound(40_000_000),
+                    SnippetProfile::idle(10_000_000),
+                ],
+            ),
+            ScenarioSpec::new("beta", vec![SnippetProfile::memory_bound(60_000_000)]),
+        ];
+        let driver = ScenarioDriver::new(platform.clone(), 2);
+        let (_, records) = driver.run_recorded(&SliceSource::new(&specs), |_, _| {
+            Box::new(OndemandGovernor::new(&platform))
+        });
+        (platform, Trace::from_records(&records))
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_bit_identical() {
+        let (_, trace) = recorded_trace();
+        let encoded = trace.to_jsonl();
+        let decoded = Trace::from_jsonl(&encoded).expect("round trip parses");
+        assert_eq!(decoded, trace);
+        // And the re-encoding is byte-identical (stable format).
+        assert_eq!(decoded.to_jsonl(), encoded);
+    }
+
+    #[test]
+    fn replay_reproduces_the_recording() {
+        let (platform, trace) = recorded_trace();
+        for scenario in &trace.scenarios {
+            let report = replay(scenario, &platform);
+            assert!(report.bit_identical, "divergence at {:?}", report.first_divergence);
+            assert_eq!(report.decisions, scenario.decisions.len());
+            let delta = (report.total_energy_j - scenario.total_energy_j()).abs();
+            assert_eq!(delta, 0.0);
+        }
+    }
+
+    #[test]
+    fn replay_flags_a_tampered_recording() {
+        let (platform, mut trace) = recorded_trace();
+        trace.scenarios[0].decisions[1].energy_j *= 1.5;
+        let report = replay(&trace.scenarios[0], &platform);
+        assert!(!report.bit_identical);
+        assert_eq!(report.first_divergence, Some(1));
+    }
+
+    #[test]
+    fn diff_detects_divergent_policies() {
+        let platform = SocPlatform::small();
+        let spec = ScenarioSpec::new(
+            "shared",
+            vec![
+                SnippetProfile::compute_bound(40_000_000),
+                SnippetProfile::memory_bound(40_000_000),
+                SnippetProfile::compute_bound(40_000_000),
+            ],
+        );
+        let driver = ScenarioDriver::new(platform.clone(), 1);
+        let specs = vec![spec];
+        let (_, a) = driver.run_recorded(&SliceSource::new(&specs), |_, _| {
+            Box::new(OndemandGovernor::new(&platform))
+        });
+        let (_, b) = driver.run_recorded(&SliceSource::new(&specs), |_, _| {
+            Box::new(soclearn_soc_sim::FixedConfigPolicy::new(platform.max_config()))
+        });
+        let (a, b) = (ScenarioTrace::from(&a[0]), ScenarioTrace::from(&b[0]));
+        let diff = TraceDiff::between(&a, &b);
+        assert!(diff.profiles_match, "same snippet stream");
+        assert!(diff.config_mismatches > 0, "ondemand must differ from pinned-max");
+        assert_eq!(diff.first_config_divergence, Some(0));
+        assert!(diff.energy_ratio() > 1.0, "pinned-max burns more energy");
+        let rendered = diff.render("ondemand", "fixed-max");
+        assert!(rendered.contains("config mismatches"));
+
+        let self_diff = TraceDiff::between(&a, &a);
+        assert_eq!(self_diff.config_mismatches, 0);
+        assert_eq!(self_diff.energy_ratio(), 1.0);
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        assert!(Trace::from_jsonl("").is_err());
+        assert!(Trace::from_jsonl("{\"format\":\"other\",\"version\":1,\"scenarios\":0}").is_err());
+        assert!(Trace::from_jsonl(
+            "{\"format\":\"soclearn-trace\",\"version\":99,\"scenarios\":0}"
+        )
+        .is_err());
+        // Truncated: promises one scenario but the stream ends.
+        let err =
+            Trace::from_jsonl("{\"format\":\"soclearn-trace\",\"version\":1,\"scenarios\":1}")
+                .unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+        let empty =
+            Trace::from_jsonl("{\"format\":\"soclearn-trace\",\"version\":1,\"scenarios\":0}")
+                .expect("empty trace is valid");
+        assert!(empty.scenarios.is_empty());
+    }
+
+    #[test]
+    fn rejects_trailing_data_after_the_declared_scenarios() {
+        // Concatenating two traces must fail loudly, not silently drop data.
+        let (_, trace) = recorded_trace();
+        let doubled = format!("{}{}", trace.to_jsonl(), trace.to_jsonl());
+        let err = Trace::from_jsonl(&doubled).unwrap_err();
+        assert!(err.to_string().contains("trailing data"), "{err}");
+    }
+}

@@ -36,7 +36,7 @@ pub mod suites;
 pub use graphics::{FrameTrace, GraphicsWorkload};
 pub use sequence::ApplicationSequence;
 pub use snippet::{SnippetPhase, SnippetProfile};
-pub use suites::{Benchmark, BenchmarkSuite, SuiteKind};
+pub use suites::{AppSpec, Benchmark, BenchmarkSuite, SuiteKind};
 
 /// Number of instructions in one workload-conservative snippet.
 ///

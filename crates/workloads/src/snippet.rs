@@ -104,6 +104,27 @@ impl SnippetProfile {
         Self::new(instructions, SnippetPhase::Memory, 0.42, 14.0, 0.8, 3.0, 1.1, 1, 0.0)
     }
 
+    /// A near-idle profile: a short, serially-dependent housekeeping snippet
+    /// with minimal memory traffic, as produced by an application waiting on
+    /// input.  Workload generators skew towards this profile to model idle
+    /// phases between bursts.
+    pub fn idle(instructions: u64) -> Self {
+        Self::new(instructions, SnippetPhase::Branchy, 0.08, 0.1, 0.2, 6.0, 0.6, 1, 0.0)
+    }
+
+    /// Returns the profile with its instruction count replaced (the
+    /// perturbation operators' instruction-scaling hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is zero.
+    #[must_use]
+    pub fn with_instructions(mut self, instructions: u64) -> Self {
+        assert!(instructions > 0, "snippet must contain at least one instruction");
+        self.instructions = instructions;
+        self
+    }
+
     /// Memory intensity in `[0, 1]`: how strongly execution time is expected to be
     /// dominated by off-chip memory rather than core cycles.
     ///
@@ -181,6 +202,18 @@ mod tests {
         let c = SnippetProfile::compute_bound(1_000_000);
         let m = SnippetProfile::memory_bound(1_000_000);
         assert!(m.memory_intensity() > c.memory_intensity());
+    }
+
+    #[test]
+    fn idle_profile_is_light_on_memory_and_ilp() {
+        let idle = SnippetProfile::idle(5_000_000);
+        assert!(
+            idle.memory_intensity() < SnippetProfile::compute_bound(5_000_000).memory_intensity()
+        );
+        assert!(idle.ilp < 1.0);
+        let rescaled = idle.clone().with_instructions(10_000_000);
+        assert_eq!(rescaled.instructions, 10_000_000);
+        assert_eq!(rescaled.ilp, idle.ilp);
     }
 
     #[test]

@@ -108,22 +108,33 @@ pub struct BenchmarkSuite {
 }
 
 /// Parameters controlling how an application's snippets are synthesised.
-#[derive(Debug, Clone, Copy)]
-struct AppSpec {
-    name: &'static str,
-    snippets: usize,
+///
+/// The paper suites are built from fixed spec tables below; external workload
+/// generators (the `soclearn-scenarios` crate) construct their own specs and
+/// feed them through [`BenchmarkSuite::from_specs`] to mint never-seen
+/// suite-like applications from the same two-state phase machinery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppSpec {
+    /// Application name (reported in figures and telemetry).
+    pub name: &'static str,
+    /// Number of snippets to synthesise.
+    pub snippets: usize,
     /// Probability of a memory phase snippet.
-    memory_phase_prob: f64,
+    pub memory_phase_prob: f64,
     /// Baseline memory access fraction.
-    mem_access: f64,
+    pub mem_access: f64,
     /// Baseline L2 MPKI in compute phases.
-    l2_mpki: f64,
+    pub l2_mpki: f64,
     /// L2 MPKI multiplier in memory phases.
-    memory_phase_mpki_mult: f64,
-    branch_pki: f64,
-    ilp: f64,
-    threads: u32,
-    parallel_fraction: f64,
+    pub memory_phase_mpki_mult: f64,
+    /// Branch mispredictions per kilo-instruction.
+    pub branch_pki: f64,
+    /// Available instruction-level parallelism.
+    pub ilp: f64,
+    /// Software thread count.
+    pub threads: u32,
+    /// Amdahl parallel fraction.
+    pub parallel_fraction: f64,
 }
 
 impl BenchmarkSuite {
@@ -137,6 +148,20 @@ impl BenchmarkSuite {
             SuiteKind::Cortex => Self::cortex_specs(),
             SuiteKind::Parsec => Self::parsec_specs(),
         };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (kind as u64).wrapping_mul(0x9E37_79B9));
+        let benchmarks =
+            specs.iter().map(|spec| Self::generate_app(kind, spec, &mut rng)).collect();
+        Self { kind, benchmarks }
+    }
+
+    /// Generates a suite from caller-provided application specs — the
+    /// distribution hook workload generators use to mint suite-like
+    /// applications that were never part of the paper's tables.
+    ///
+    /// Generation is fully deterministic for a given `(kind, specs, seed)`
+    /// triple, exactly like [`BenchmarkSuite::generate`]; `kind` also selects
+    /// the suite-level external-memory-fraction range.
+    pub fn from_specs(kind: SuiteKind, specs: &[AppSpec], seed: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (kind as u64).wrapping_mul(0x9E37_79B9));
         let benchmarks =
             specs.iter().map(|spec| Self::generate_app(kind, spec, &mut rng)).collect();
@@ -459,6 +484,31 @@ mod tests {
         assert_eq!(p.benchmarks().len(), 2);
         assert!(c.benchmark("MotionEst").is_some());
         assert!(p.benchmark("Blackscholes-4T").is_some());
+    }
+
+    #[test]
+    fn from_specs_is_deterministic_and_respects_the_spec() {
+        let spec = AppSpec {
+            name: "synthetic-analytics",
+            snippets: 12,
+            memory_phase_prob: 0.5,
+            mem_access: 0.3,
+            l2_mpki: 5.0,
+            memory_phase_mpki_mult: 3.0,
+            branch_pki: 2.0,
+            ilp: 1.6,
+            threads: 2,
+            parallel_fraction: 0.7,
+        };
+        let a = BenchmarkSuite::from_specs(SuiteKind::Cortex, &[spec], 99);
+        let b = BenchmarkSuite::from_specs(SuiteKind::Cortex, &[spec], 99);
+        assert_eq!(a, b);
+        assert_eq!(a.benchmarks().len(), 1);
+        let bench = &a.benchmarks()[0];
+        assert_eq!(bench.name(), "synthetic-analytics");
+        assert_eq!(bench.snippets().len(), 12);
+        assert!(bench.snippets().iter().all(|s| s.thread_count == 2));
+        assert_ne!(a, BenchmarkSuite::from_specs(SuiteKind::Cortex, &[spec], 100));
     }
 
     #[test]

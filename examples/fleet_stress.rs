@@ -1,0 +1,135 @@
+//! Fleet-scale stress serving of generated, never-seen workloads.
+//!
+//! Streams a fleet of generated users — bursty compute, Markov-phased memory,
+//! diurnal mixes and perturbed paper suites — into the multi-worker
+//! `ScenarioDriver` under a bursty arrival schedule, serving online-IL
+//! policies from the shared artifact store next to ondemand/interactive
+//! governor fleets over the identical scenario stream.  Afterwards the run's
+//! trace is serialised to JSONL, parsed back and replayed on a fresh
+//! simulator to prove bit-identical reproduction, and the online-IL run is
+//! diffed against the governor run on the same user.
+//!
+//! ```text
+//! cargo run --release --example fleet_stress
+//! ```
+
+use std::time::Duration;
+
+use soclearn_core::prelude::*;
+use soclearn_core::report::render_table;
+use soclearn_scenarios::Trace;
+
+fn main() {
+    let platform = SocPlatform::odroid_xu3();
+    let scale = ExperimentScale::Quick;
+    let users = 12;
+    let workers = 4;
+
+    let artifacts = shared_artifacts(&platform, scale);
+    let generator = ScenarioGenerator::standard(2020, 10);
+    println!(
+        "Streaming {} users over {} generated families into {} workers (bursty arrivals)\n",
+        users,
+        generator.families().len(),
+        workers
+    );
+
+    let fleet = FleetStress::new(platform.clone(), generator, users, workers)
+        .with_schedule(ArrivalSchedule::Bursty { burst: 4, gap: Duration::from_millis(5) })
+        .with_oracle_reference(OracleObjective::Energy);
+    let (il, [ondemand, interactive], [vs_ondemand, vs_interactive]) =
+        fleet.run_against_governors(|_, _| {
+            Box::new(artifacts.online_policy(OnlineIlConfig {
+                buffer_capacity: 15,
+                neighbourhood_radius: 2,
+                ..OnlineIlConfig::default()
+            }))
+        });
+
+    // Per-family fleet telemetry: online-IL energy against both governor
+    // fleets plus oracle agreement.
+    let rows: Vec<Vec<String>> = il
+        .families
+        .iter()
+        .zip(vs_ondemand.iter().zip(&vs_interactive))
+        .map(|(family, (od, ia))| {
+            vec![
+                family.family.clone(),
+                format!("{}", family.scenarios),
+                format!("{}", family.decisions),
+                format!("{:.1}", family.energy_j),
+                format!("{:+.1}%", (od.ratio() - 1.0) * 100.0),
+                format!("{:+.1}%", (ia.ratio() - 1.0) * 100.0),
+                family.oracle_agreement.map_or("-".to_owned(), |a| format!("{:.0}%", a * 100.0)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fleet telemetry per generated family (online-IL fleet)",
+            &[
+                "Family",
+                "Users",
+                "Decisions",
+                "IL energy (J)",
+                "vs ondemand",
+                "vs interactive",
+                "Oracle agree",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Serving: {:.0} decisions/s, mean latency {:.1} us, p99 {:.1} us, tail max {:.1} us",
+        il.telemetry.decisions_per_second,
+        il.telemetry.latency.mean_ns() / 1e3,
+        il.telemetry.latency.quantile_upper_bound_ns(0.99) as f64 / 1e3,
+        il.telemetry.latency.max_ns() as f64 / 1e3,
+    );
+    println!(
+        "Fleet energy: online-IL {:.1} J, ondemand {:.1} J, interactive {:.1} J\n",
+        il.telemetry.total_energy_j,
+        ondemand.telemetry.total_energy_j,
+        interactive.telemetry.total_energy_j,
+    );
+
+    // Trace record → JSONL → parse → replay: the whole fleet, bit for bit.
+    let trace = Trace::from_records(&il.records);
+    let jsonl = trace.to_jsonl();
+    let decoded = Trace::from_jsonl(&jsonl).expect("recorded trace parses");
+    assert_eq!(decoded, trace, "JSONL round trip must be lossless");
+    let mut replayed = 0usize;
+    for scenario in &decoded.scenarios {
+        let report = replay(scenario, &platform);
+        assert!(
+            report.bit_identical,
+            "replay of {} diverged at decision {:?}",
+            scenario.name, report.first_divergence
+        );
+        replayed += report.decisions;
+    }
+    println!(
+        "Trace: {} scenarios, {} decisions, {} KB JSONL — replay reproduced all {} decisions bit-identically.",
+        decoded.scenarios.len(),
+        replayed,
+        jsonl.len() / 1024,
+        replayed,
+    );
+
+    // Diff the online-IL and ondemand runs of the same generated user.
+    let il_user = &decoded.scenarios[0];
+    let governor_trace = Trace::from_records(&ondemand.records);
+    let diff = TraceDiff::between(il_user, &governor_trace.scenarios[0]);
+    println!("Diff on {}: {}", il_user.name, diff.render("online-il", "ondemand"));
+
+    let il_wins = vs_ondemand
+        .iter()
+        .zip(&vs_interactive)
+        .filter(|(od, ia)| od.ratio() < 1.0 && ia.ratio() < 1.0)
+        .count();
+    println!(
+        "\nOnline-IL used less energy than BOTH governors on {il_wins}/{} generated families.",
+        il.families.len()
+    );
+}

@@ -1,0 +1,133 @@
+//! Integration tests of the `soclearn-scenarios` subsystem: generator
+//! determinism across threads, trace record → replay bit-identity through the
+//! JSONL encoding, streaming-source parity with the pre-materialised driver
+//! path, and the quantised serving mode's documented accuracy bound on a
+//! paper suite.
+
+use soclearn_core::prelude::*;
+use soclearn_runtime::scaled_suite;
+use soclearn_scenarios::Trace;
+
+#[test]
+fn generator_is_deterministic_across_threads() {
+    let reference: Vec<ScenarioSpec> = ScenarioGenerator::standard(77, 8).scenarios(12);
+    let worker_views: Vec<Vec<ScenarioSpec>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let generator = ScenarioGenerator::standard(77, 8);
+                    // Each thread generates in a different order.
+                    let mut indices: Vec<usize> = (0..12).collect();
+                    if worker % 2 == 1 {
+                        indices.reverse();
+                    }
+                    let mut out = vec![None; 12];
+                    for i in indices {
+                        out[i] = Some(generator.scenario(i));
+                    }
+                    out.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("generator thread panicked"))
+            .collect()
+    });
+    for view in worker_views {
+        assert_eq!(view, reference, "every thread must see the identical scenario set");
+    }
+}
+
+#[test]
+fn trace_record_replay_round_trip_is_bit_identical() {
+    let platform = SocPlatform::small();
+    let generator = ScenarioGenerator::standard(13, 6);
+    let scenarios = generator.scenarios(6);
+    let driver =
+        ScenarioDriver::new(platform.clone(), 3).with_oracle_reference(OracleObjective::Energy);
+    let (telemetry, records) = driver.run_recorded(&SliceSource::new(&scenarios), |_, _| {
+        Box::new(OndemandGovernor::new(&platform))
+    });
+    assert_eq!(records.len(), 6);
+
+    // Serialise → parse: the decoded trace equals the recorded one exactly.
+    let trace = Trace::from_records(&records);
+    let decoded = Trace::from_jsonl(&trace.to_jsonl()).expect("trace parses");
+    assert_eq!(decoded, trace);
+
+    // Replay each decoded scenario: bit-identical telemetry, and the summed
+    // energy reproduces the driver's total.
+    let mut replayed_energy = 0.0;
+    for scenario in &decoded.scenarios {
+        let report = replay(scenario, &platform);
+        assert!(
+            report.bit_identical,
+            "replay of {} diverged at {:?}",
+            scenario.name, report.first_divergence
+        );
+        replayed_energy += report.total_energy_j;
+    }
+    assert!((replayed_energy - telemetry.total_energy_j).abs() < 1e-9);
+}
+
+#[test]
+fn streaming_driver_matches_the_materialised_path() {
+    let platform = SocPlatform::small();
+    let generator = std::sync::Arc::new(ScenarioGenerator::standard(5, 6));
+    let materialised = generator.scenarios(8);
+    // One worker: deterministic claiming order, so totals must be bit-exact.
+    let driver = ScenarioDriver::new(platform.clone(), 1);
+    let sliced = driver.run(&materialised, |_, _| Box::new(OndemandGovernor::new(&platform)));
+    let source = FleetSource::new(std::sync::Arc::clone(&generator), 8, ArrivalSchedule::Immediate);
+    let streamed = driver.run_stream(&source, |_, _| Box::new(OndemandGovernor::new(&platform)));
+    assert_eq!(streamed.scenarios, sliced.scenarios);
+    assert_eq!(streamed.decisions, sliced.decisions);
+    assert_eq!(streamed.total_energy_j.to_bits(), sliced.total_energy_j.to_bits());
+    assert_eq!(streamed.simulated_time_s.to_bits(), sliced.simulated_time_s.to_bits());
+
+    // Multi-worker: same scenario/decision counts, energies equal up to
+    // summation order.
+    let driver = ScenarioDriver::new(platform.clone(), 4);
+    let source = FleetSource::new(std::sync::Arc::clone(&generator), 8, ArrivalSchedule::Immediate);
+    let concurrent = driver.run_stream(&source, |_, _| Box::new(OndemandGovernor::new(&platform)));
+    assert_eq!(concurrent.scenarios, sliced.scenarios);
+    assert_eq!(concurrent.decisions, sliced.decisions);
+    assert!((concurrent.total_energy_j - sliced.total_energy_j).abs() < 1e-9);
+}
+
+/// The documented quantised-serving bound: with 44 dropped mantissa bits
+/// (≈ 0.25 °C temperature buckets), fleet energy/time on a paper suite stay
+/// within 2% of exact serving.
+#[test]
+fn quantised_serving_stays_within_documented_bound() {
+    let platform = SocPlatform::odroid_xu3();
+    let benchmarks = scaled_suite(SuiteKind::MiBench, ExperimentScale::Quick);
+    // Two waves of identical users: steady-state serving, where the second
+    // wave is answered from the bucketed cache.
+    let scenarios: Vec<ScenarioSpec> = benchmarks
+        .iter()
+        .cycle()
+        .take(benchmarks.len() * 2)
+        .map(|(name, snippets)| ScenarioSpec::new(name.clone(), snippets.clone()))
+        .collect();
+
+    let exact = ScenarioDriver::new(platform.clone(), 2)
+        .run(&scenarios, |_, _| Box::new(OndemandGovernor::new(&platform)));
+    let quantised_driver = ScenarioDriver::new(platform.clone(), 2).with_quantized_serving(44);
+    let quantised =
+        quantised_driver.run(&scenarios, |_, _| Box::new(OndemandGovernor::new(&platform)));
+
+    assert_eq!(exact.decisions, quantised.decisions);
+    let energy_delta =
+        (quantised.total_energy_j - exact.total_energy_j).abs() / exact.total_energy_j;
+    let time_delta =
+        (quantised.simulated_time_s - exact.simulated_time_s).abs() / exact.simulated_time_s;
+    assert!(energy_delta < 0.02, "energy drifted {:.3}% > 2%", energy_delta * 100.0);
+    assert!(time_delta < 0.02, "time drifted {:.3}% > 2%", time_delta * 100.0);
+    let stats = quantised_driver.serving_cache().expect("quantised cache is on").stats();
+    assert!(
+        stats.hits > 0,
+        "quantised buckets must coalesce sweeps within the thermally evolving run"
+    );
+}
