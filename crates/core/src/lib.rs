@@ -64,7 +64,7 @@ pub mod prelude {
     };
     pub use soclearn_rl::{DqnAgent, QTableAgent, RlConfig};
     pub use soclearn_runtime::{
-        shared_artifacts, ArtifactStore, DriverTelemetry, ExperimentScale, ScenarioDriver,
+        shared_artifacts, ArtifactStore, Clock, DriverTelemetry, ExperimentScale, ScenarioDriver,
         ScenarioSource, ScenarioSpec, SliceSource, SweepCache, SweepEngine, TrainingArtifacts,
     };
     pub use soclearn_scenarios::{

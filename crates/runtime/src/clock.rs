@@ -1,0 +1,147 @@
+//! The time seam of the serving stack: wall-clock vs virtual (discrete-event)
+//! time.
+//!
+//! Everything time-shaped in the runtime — arrival pacing in the fleet
+//! sources, the driver's run duration, per-decision latency stamps — reads one
+//! [`Clock`].  Under [`Clock::wall`] (the default everywhere) the clock is a
+//! monotonic anchor and waiting really sleeps, so arrival schedules play out
+//! in real time.  Under [`Clock::virtual_clock`] the clock is an atomic
+//! nanosecond counter and waiting *advances* it to the requested deadline
+//! instead of sleeping, so an hour-long diurnal arrival schedule collapses to
+//! the microseconds it takes to serve the decisions — and every timestamp the
+//! run produces is a pure function of the schedule, never of the host's
+//! scheduler.  That determinism is what makes same-seed fleet runs
+//! bit-comparable (see the trace-diff gate in CI).
+//!
+//! The clock is shared by cloning: a `Clock` is either a copied anchor or an
+//! `Arc` around the counter, so the fleet source and the driver of one run
+//! observe the same timeline.
+//!
+//! # Waiting semantics
+//!
+//! [`Clock::wait_until_ns`] with a wall clock sleeps the **exact remaining
+//! duration** (re-checking in a loop in case the OS wakes it early).  The
+//! arrival jitter is therefore bounded by the OS sleep overshoot — typically
+//! well under a millisecond of timer slack on a quiet host — not by a fixed
+//! polling quantum.  With a virtual clock the wait is a lock-free
+//! `fetch_max`: time jumps forward to the deadline and the call returns
+//! immediately.  Virtual time never goes backwards — a wait for an
+//! already-passed deadline is a no-op, exactly like a wall-clock wait for a
+//! deadline in the past.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock: real time, or discrete-event virtual time.
+///
+/// All readings are nanoseconds since the clock's own epoch (the anchor
+/// instant for a wall clock, zero for a virtual clock); only differences
+/// between readings of the *same* clock are meaningful.
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// Real time, anchored at construction; waiting sleeps.
+    Wall(Instant),
+    /// Discrete-event time; waiting advances the shared counter.
+    Virtual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A wall clock anchored now.
+    pub fn wall() -> Self {
+        Clock::Wall(Instant::now())
+    }
+
+    /// A virtual clock starting at nanosecond zero.
+    pub fn virtual_clock() -> Self {
+        Clock::Virtual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// `true` for a virtual (discrete-event) clock.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Clock::Virtual(_))
+    }
+
+    /// Nanoseconds since this clock's epoch.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Wall(anchor) => anchor.elapsed().as_nanos() as u64,
+            Clock::Virtual(now) => now.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Blocks until the clock reads at least `deadline_ns`.
+    ///
+    /// Wall clock: sleeps the exact remaining duration (jitter bounded by OS
+    /// sleep overshoot, see the module docs).  Virtual clock: advances time to
+    /// the deadline and returns immediately; if time already passed the
+    /// deadline this is a no-op.
+    pub fn wait_until_ns(&self, deadline_ns: u64) {
+        match self {
+            Clock::Wall(anchor) => loop {
+                let now = anchor.elapsed().as_nanos() as u64;
+                if now >= deadline_ns {
+                    return;
+                }
+                std::thread::sleep(Duration::from_nanos(deadline_ns - now));
+            },
+            Clock::Virtual(now) => {
+                now.fetch_max(deadline_ns, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Seconds elapsed since an earlier reading of this clock.
+    pub fn seconds_since(&self, start_ns: u64) -> f64 {
+        self.now_ns().saturating_sub(start_ns) as f64 / 1e9
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::wall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_waits_advance_instead_of_sleeping() {
+        let clock = Clock::virtual_clock();
+        assert!(clock.is_virtual());
+        assert_eq!(clock.now_ns(), 0);
+        let day_ns = 24 * 3_600 * 1_000_000_000u64;
+        let wall = Instant::now();
+        clock.wait_until_ns(day_ns);
+        assert_eq!(clock.now_ns(), day_ns);
+        assert!(wall.elapsed() < Duration::from_millis(100), "virtual wait must not sleep");
+        // Time never goes backwards: waiting for the past is a no-op.
+        clock.wait_until_ns(5);
+        assert_eq!(clock.now_ns(), day_ns);
+        assert!((clock.seconds_since(0) - 86_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_the_virtual_timeline() {
+        let clock = Clock::virtual_clock();
+        let other = clock.clone();
+        clock.wait_until_ns(1_000);
+        assert_eq!(other.now_ns(), 1_000);
+    }
+
+    #[test]
+    fn wall_waits_sleep_the_exact_remainder() {
+        let clock = Clock::wall();
+        assert!(!clock.is_virtual());
+        let start = clock.now_ns();
+        clock.wait_until_ns(start + 2_000_000); // 2 ms
+        let elapsed = clock.now_ns() - start;
+        assert!(elapsed >= 2_000_000, "wall wait undersleeps: {elapsed} ns");
+        // Past deadlines return immediately.
+        let before = Instant::now();
+        clock.wait_until_ns(0);
+        assert!(before.elapsed() < Duration::from_millis(50));
+    }
+}

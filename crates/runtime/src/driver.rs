@@ -13,15 +13,18 @@
 //! users running the same applications.
 //!
 //! The driver aggregates serving telemetry: decision throughput
-//! (decisions/second of wall time), a per-decision policy-latency histogram,
+//! (decisions/second of clock time), a per-decision policy-latency histogram,
 //! total simulated energy/time, per-worker breakdowns and the shared cache's
-//! hit statistics.  [`ScenarioDriver::run_recorded`] additionally captures a
+//! hit statistics.  All timestamps read the driver's [`Clock`] — a real wall
+//! clock by default, or a shared virtual clock
+//! ([`ScenarioDriver::with_clock`]) under which the duration and throughput
+//! are computed against discrete-event time and become deterministic
+//! functions of the scenario stream.  [`ScenarioDriver::run_recorded`] additionally captures a
 //! per-decision [`DecisionRecord`] stream per scenario, which the
 //! `soclearn-scenarios` trace layer serialises into replayable JSONL traces.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use soclearn_oracle::OracleObjective;
 use soclearn_soc_sim::{
@@ -29,6 +32,7 @@ use soclearn_soc_sim::{
 };
 use soclearn_workloads::{ApplicationSequence, SnippetProfile};
 
+use crate::clock::Clock;
 use crate::sweep::{SweepCache, SweepCacheStats, SweepEngine};
 
 /// One independent user: a named snippet sequence to serve end to end.
@@ -246,9 +250,11 @@ pub struct DriverTelemetry {
     pub total_energy_j: f64,
     /// Total simulated execution time, seconds.
     pub simulated_time_s: f64,
-    /// Wall-clock duration of the run, seconds.
+    /// Duration of the run on the driver's [`Clock`], seconds.  Real elapsed
+    /// time under the default wall clock; the span of virtual time the run
+    /// covered (e.g. the arrival schedule's length) under a virtual clock.
     pub wall_seconds: f64,
-    /// Serving throughput: decisions per wall-clock second.
+    /// Serving throughput: decisions per clock second (wall or virtual).
     pub decisions_per_second: f64,
     /// Per-decision policy latency distribution.
     pub latency: LatencyHistogram,
@@ -269,6 +275,8 @@ pub struct ScenarioDriver {
     oracle_reference: Option<OracleObjective>,
     /// Quantised serving: executions routed through a bucketed sweep cache.
     serving_cache: Option<Arc<SweepCache>>,
+    /// Time source for run duration and per-decision latency stamps.
+    clock: Clock,
 }
 
 impl ScenarioDriver {
@@ -285,7 +293,31 @@ impl ScenarioDriver {
             cache: Arc::new(SweepCache::new()),
             oracle_reference: None,
             serving_cache: None,
+            clock: Clock::wall(),
         }
+    }
+
+    /// Replaces the driver's time source (default: a wall clock).
+    ///
+    /// With a [`Clock::virtual_clock`] the run duration, throughput and the
+    /// latency histogram are computed against **virtual time**: the duration
+    /// is the span of virtual time the run covered (advanced by whoever waits
+    /// on the clock — e.g. a fleet source pacing arrivals), and per-decision
+    /// latencies are recorded as zero — decisions are instantaneous in
+    /// discrete-event time, and concurrent workers advancing the shared clock
+    /// between two reads must not register as phantom latency — so the whole
+    /// telemetry struct is a deterministic function of the scenario stream.
+    /// Share the same clock with the scenario source so both observe one
+    /// timeline.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The driver's time source.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// Scores every decision against an Oracle run of the same scenario under
@@ -391,14 +423,14 @@ impl ScenarioDriver {
         S: ScenarioSource + ?Sized,
         F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
     {
-        let started = Instant::now();
+        let started_ns = self.clock.now_ns();
         let mut worker_slots: Vec<WorkerSlot> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
                 .map(|worker| scope.spawn(move || self.serve(worker, source, make_policy, record)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("driver worker panicked")).collect()
         });
-        let wall_seconds = started.elapsed().as_secs_f64();
+        let wall_seconds = self.clock.seconds_since(started_ns);
 
         worker_slots.sort_by_key(|slot| slot.telemetry.worker);
         let mut latency = LatencyHistogram::new();
@@ -482,9 +514,15 @@ impl ScenarioDriver {
             let mut counters = SnippetCounters::default();
             let mut config = self.platform.max_config();
             for (i, profile) in scenario.profiles.iter().enumerate() {
-                let decision_started = Instant::now();
+                // Virtual clock: decisions are instantaneous in discrete-event
+                // time — reading the shared counter around `decide` would pick
+                // up *other* workers' arrival advances as phantom latency.
+                let decision_started_ns = (!self.clock.is_virtual()).then(|| self.clock.now_ns());
                 config = policy.decide(&self.platform, PolicyDecision::new(&counters, config, i));
-                slot.latency.record(decision_started.elapsed().as_nanos() as u64);
+                slot.latency.record(match decision_started_ns {
+                    Some(started_ns) => self.clock.now_ns().saturating_sub(started_ns),
+                    None => 0,
+                });
                 let (big_temp_c, little_temp_c, result) = match &mut serving_engine {
                     Some(engine) => {
                         let temps =

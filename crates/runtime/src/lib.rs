@@ -18,7 +18,11 @@
 //! 3. [`ScenarioDriver`] — a multi-worker serving harness that executes many
 //!    independent application-sequence "users" concurrently and aggregates
 //!    serving telemetry: decision throughput, per-decision latency histogram,
-//!    energy, policy-vs-oracle agreement and cache statistics.
+//!    energy, policy-vs-oracle agreement and cache statistics.  Every
+//!    timestamp reads a pluggable [`Clock`] — real wall time by default, or a
+//!    shared virtual discrete-event clock that lets arrival schedules
+//!    spanning simulated days collapse to milliseconds with deterministic
+//!    telemetry.
 //!
 //! ```
 //! use soclearn_runtime::{ExperimentScale, ScenarioDriver, ScenarioSpec, shared_artifacts};
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod clock;
 pub mod driver;
 pub mod scale;
 pub mod sweep;
@@ -47,6 +52,7 @@ pub use artifacts::{
     profiles_of, scaled_suite, sequence_of, shared_artifacts, ArtifactStore, TrainingArtifacts,
     EXPERIMENT_SEED,
 };
+pub use clock::Clock;
 pub use driver::{
     DecisionRecord, DriverTelemetry, LatencyHistogram, ScenarioDriver, ScenarioRecord,
     ScenarioSource, ScenarioSpec, SliceSource, WorkerTelemetry,

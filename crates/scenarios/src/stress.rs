@@ -3,21 +3,29 @@
 //! [`FleetSource`] adapts a [`ScenarioGenerator`] into the driver's streaming
 //! [`ScenarioSource`]: users are manufactured on demand as workers claim them
 //! (never materialised up front) and released according to an
-//! [`ArrivalSchedule`] — constant spacing, bursts or a ramp — so the serving
+//! [`ArrivalSchedule`] — constant spacing, bursts, a ramp, a sinusoidal
+//! diurnal cycle or Markov-modulated calm/storm traffic — so the serving
 //! stack is exercised under realistic admission patterns, not just a
 //! pre-loaded queue.  [`FleetStress`] wraps the whole loop and aggregates
 //! *fleet* telemetry on top of the driver's: per-family decision counts,
 //! energy and oracle agreement, plus energy deltas against baseline governor
 //! fleets over the identical scenario stream.
+//!
+//! Arrival pacing and telemetry share one [`Clock`]: real time by default, or
+//! — via [`FleetStress::with_clock`] / [`FleetSource::with_clock`] — a
+//! virtual discrete-event clock under which waiting for an arrival *advances*
+//! time instead of sleeping, compressing a 24 h diurnal schedule into the
+//! milliseconds the decisions take to serve, with deterministic virtual-time
+//! telemetry.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use soclearn_governors::{InteractiveGovernor, OndemandGovernor};
 use soclearn_oracle::OracleObjective;
 use soclearn_runtime::{
-    DriverTelemetry, ScenarioDriver, ScenarioRecord, ScenarioSource, ScenarioSpec,
+    Clock, DriverTelemetry, ScenarioDriver, ScenarioRecord, ScenarioSource, ScenarioSpec,
 };
 use soclearn_soc_sim::{DvfsPolicy, SocPlatform};
 
@@ -25,8 +33,13 @@ use crate::generator::ScenarioGenerator;
 
 /// When each generated user becomes available to the worker pool.
 ///
-/// Schedules are expressed in wall-clock time; [`ArrivalSchedule::Immediate`]
-/// (the default for tests and CI) admits everyone up front.
+/// Schedules are expressed in *clock* time: under the default wall clock the
+/// source really paces arrivals (jitter bounded by the OS sleep overshoot —
+/// the exact remaining duration is slept, with no fixed polling quantum),
+/// while under [`Clock::virtual_clock`] the same schedule plays out in
+/// discrete-event time, so a multi-day schedule compresses to however long
+/// the decisions take to serve.  [`ArrivalSchedule::Immediate`] (the default
+/// for tests and CI) admits everyone up front.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalSchedule {
     /// Every user is available immediately.
@@ -51,10 +64,56 @@ pub enum ArrivalSchedule {
         /// Spacing at the last arrival.
         end: Duration,
     },
+    /// Day/night load cycle: arrival spacing oscillates sinusoidally between
+    /// `peak` (the densest spacing, at phase zero) and `off_peak` (the
+    /// sparsest, half a `period` later), with the phase driven by the arrival
+    /// time itself.  A 24 h `period` reproduces a diurnal fleet; under a
+    /// virtual clock the whole day runs in milliseconds.
+    Diurnal {
+        /// Length of one full load cycle (e.g. 24 h).
+        period: Duration,
+        /// Arrival spacing at the start/peak of the cycle (the busy phase).
+        peak: Duration,
+        /// Arrival spacing half a period in (the quiet phase).
+        off_peak: Duration,
+    },
+    /// Markov-modulated arrivals: a two-state (calm/storm) chain advances one
+    /// step per arrival, staying in its state with probability `persistence`
+    /// and flipping otherwise.  Calm arrivals are spaced `calm` apart, storm
+    /// arrivals `storm` apart; the state sequence is a pure function of
+    /// `seed`, so the schedule is deterministic.  Long chains with calm
+    /// spacings of minutes model multi-day traffic with bursty episodes.
+    Markov {
+        /// Spacing between arrivals in the calm state.
+        calm: Duration,
+        /// Spacing between arrivals in the storm state.
+        storm: Duration,
+        /// Probability of staying in the current state at each arrival
+        /// (clamped to `[0, 1]`).
+        persistence: f64,
+        /// Seed of the deterministic state sequence.
+        seed: u64,
+    },
+}
+
+/// SplitMix64 step: the deterministic stream behind [`ArrivalSchedule::Markov`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl ArrivalSchedule {
     /// Offset from the run start at which user `index` of `total` arrives.
+    ///
+    /// A pure function of the schedule and `index` — that purity is what the
+    /// fleet determinism guarantees rest on.  For the cumulative schedules
+    /// (`Ramp`, `Diurnal`, `Markov`) the cost is O(`index`) float steps, i.e.
+    /// O(n²) over a fleet that queries every arrival; at tens of thousands of
+    /// users that is tens of milliseconds total — precompute the offsets once
+    /// if a fleet ever grows far beyond that.
     pub fn arrival_offset(&self, index: usize, total: usize) -> Duration {
         match *self {
             ArrivalSchedule::Immediate => Duration::ZERO,
@@ -67,6 +126,32 @@ impl ArrivalSchedule {
                 for i in 0..index {
                     let t = i as f64 / n;
                     offset += start.as_secs_f64() + (end.as_secs_f64() - start.as_secs_f64()) * t;
+                }
+                Duration::from_secs_f64(offset)
+            }
+            ArrivalSchedule::Diurnal { period, peak, off_peak } => {
+                let period_s = period.as_secs_f64().max(1e-9);
+                let peak_s = peak.as_secs_f64();
+                let off_s = off_peak.as_secs_f64();
+                let mut offset = 0.0;
+                for _ in 0..index {
+                    let phase = offset / period_s * std::f64::consts::TAU;
+                    // cos = 1 at phase zero -> the dense `peak` spacing.
+                    offset += off_s + (peak_s - off_s) * (1.0 + phase.cos()) / 2.0;
+                }
+                Duration::from_secs_f64(offset)
+            }
+            ArrivalSchedule::Markov { calm, storm, persistence, seed } => {
+                let stay = persistence.clamp(0.0, 1.0);
+                let mut rng = seed;
+                let mut stormy = false;
+                let mut offset = 0.0;
+                for _ in 0..index {
+                    let u = splitmix64(&mut rng) as f64 / u64::MAX as f64;
+                    if u > stay {
+                        stormy = !stormy;
+                    }
+                    offset += if stormy { storm } else { calm }.as_secs_f64();
                 }
                 Duration::from_secs_f64(offset)
             }
@@ -83,18 +168,41 @@ impl ArrivalSchedule {
 /// at the first claim.  Build a fresh `FleetSource` for every run — the
 /// generator behind it is cheap to share via `Arc` and produces the identical
 /// fleet each time.
+///
+/// Arrivals are paced on the source's [`Clock`] (wall by default): the
+/// claiming worker waits until the scenario's scheduled offset.  Under a wall
+/// clock that wait sleeps the exact remaining duration; under a shared
+/// virtual clock it *advances* virtual time to the arrival instant, so
+/// multi-day schedules drain as fast as the workers can serve.
 pub struct FleetSource {
     generator: Arc<ScenarioGenerator>,
     users: usize,
     schedule: ArrivalSchedule,
+    clock: Clock,
     next: AtomicUsize,
-    started: OnceLock<Instant>,
+    started_ns: OnceLock<u64>,
 }
 
 impl FleetSource {
     /// Creates a source serving `users` scenarios from `generator`.
     pub fn new(generator: Arc<ScenarioGenerator>, users: usize, schedule: ArrivalSchedule) -> Self {
-        Self { generator, users, schedule, next: AtomicUsize::new(0), started: OnceLock::new() }
+        Self {
+            generator,
+            users,
+            schedule,
+            clock: Clock::wall(),
+            next: AtomicUsize::new(0),
+            started_ns: OnceLock::new(),
+        }
+    }
+
+    /// Replaces the source's time source (default: a wall clock).  Share the
+    /// same clock with the driver so telemetry is computed on the timeline
+    /// the arrivals were paced on.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The generator behind the source.
@@ -114,15 +222,9 @@ impl ScenarioSource for FleetSource {
         if index >= self.users {
             return None;
         }
-        let started = *self.started.get_or_init(Instant::now);
+        let started_ns = *self.started_ns.get_or_init(|| self.clock.now_ns());
         let due = self.schedule.arrival_offset(index, self.users);
-        loop {
-            let elapsed = started.elapsed();
-            if elapsed >= due {
-                break;
-            }
-            std::thread::sleep((due - elapsed).min(Duration::from_millis(5)));
-        }
+        self.clock.wait_until_ns(started_ns.saturating_add(due.as_nanos() as u64));
         Some((index, self.generator.scenario(index)))
     }
 }
@@ -192,6 +294,7 @@ pub struct FleetStress {
     users: usize,
     workers: usize,
     schedule: ArrivalSchedule,
+    clock: Clock,
     oracle_reference: Option<OracleObjective>,
 }
 
@@ -215,6 +318,7 @@ impl FleetStress {
             users,
             workers,
             schedule: ArrivalSchedule::Immediate,
+            clock: Clock::wall(),
             oracle_reference: None,
         }
     }
@@ -223,6 +327,22 @@ impl FleetStress {
     #[must_use]
     pub fn with_schedule(mut self, schedule: ArrivalSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Replaces the harness's time source (default: a wall clock).  The same
+    /// clock drives arrival pacing *and* the driver's telemetry, so under
+    /// [`Clock::virtual_clock`] a fleet spanning simulated days completes in
+    /// milliseconds and reports its throughput against virtual time.
+    ///
+    /// Determinism under a virtual clock: the per-family telemetry and the
+    /// recorded decision stream are aggregated in scenario-index order, so
+    /// they are bit-identical across same-seed runs at **any** worker count;
+    /// the driver-level totals sum per-worker slices, so they are bit-stable
+    /// only with one worker (scenario→worker assignment races otherwise).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -245,11 +365,13 @@ impl FleetStress {
     where
         F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
     {
-        let mut driver = ScenarioDriver::new(self.platform.clone(), self.workers);
+        let mut driver =
+            ScenarioDriver::new(self.platform.clone(), self.workers).with_clock(self.clock.clone());
         if let Some(objective) = self.oracle_reference {
             driver = driver.with_oracle_reference(objective);
         }
-        let source = FleetSource::new(Arc::clone(&self.generator), self.users, self.schedule);
+        let source = FleetSource::new(Arc::clone(&self.generator), self.users, self.schedule)
+            .with_clock(self.clock.clone());
         let (telemetry, records) = driver.run_recorded(&source, &make_policy);
 
         let mut families: Vec<FamilyTelemetry> = self
@@ -323,6 +445,7 @@ impl FleetStress {
 mod tests {
     use super::*;
     use soclearn_runtime::SliceSource;
+    use std::time::Instant;
 
     fn generator() -> ScenarioGenerator {
         ScenarioGenerator::standard(21, 6)
@@ -337,6 +460,17 @@ mod tests {
             ArrivalSchedule::Ramp {
                 start: Duration::from_millis(4),
                 end: Duration::from_millis(1),
+            },
+            ArrivalSchedule::Diurnal {
+                period: Duration::from_secs(60),
+                peak: Duration::from_millis(5),
+                off_peak: Duration::from_secs(2),
+            },
+            ArrivalSchedule::Markov {
+                calm: Duration::from_secs(1),
+                storm: Duration::from_millis(10),
+                persistence: 0.8,
+                seed: 7,
             },
         ];
         for schedule in schedules {
@@ -355,6 +489,106 @@ mod tests {
         let bursty = ArrivalSchedule::Bursty { burst: 3, gap: Duration::from_millis(4) };
         assert_eq!(bursty.arrival_offset(0, 10), bursty.arrival_offset(2, 10));
         assert!(bursty.arrival_offset(3, 10) > bursty.arrival_offset(2, 10));
+    }
+
+    #[test]
+    fn diurnal_schedule_breathes_with_its_period() {
+        // Dense at the cycle start, sparse half a period in, dense again a
+        // full period later — and a pure function of the index.
+        let diurnal = ArrivalSchedule::Diurnal {
+            period: Duration::from_secs(24 * 3_600),
+            peak: Duration::from_secs(60),
+            off_peak: Duration::from_secs(7_200),
+        };
+        let offsets: Vec<f64> =
+            (0..150).map(|i| diurnal.arrival_offset(i, 150).as_secs_f64()).collect();
+        let first_gap = offsets[1] - offsets[0];
+        assert!((first_gap - 60.0).abs() < 1.0, "phase-zero spacing is the peak interval");
+        let widest = offsets.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max);
+        assert!(widest > 3_600.0, "the quiet phase must spread arrivals out ({widest:.0}s)");
+        assert!(
+            offsets.last().unwrap() > &86_400.0,
+            "150 arrivals span more than one simulated day"
+        );
+        assert_eq!(
+            diurnal.arrival_offset(17, 40),
+            diurnal.arrival_offset(17, 40),
+            "offsets are pure"
+        );
+    }
+
+    #[test]
+    fn markov_schedule_is_seed_deterministic_and_two_paced() {
+        let markov = |seed| ArrivalSchedule::Markov {
+            calm: Duration::from_secs(600),
+            storm: Duration::from_secs(5),
+            persistence: 0.85,
+            seed,
+        };
+        let a: Vec<Duration> = (0..50).map(|i| markov(3).arrival_offset(i, 50)).collect();
+        let b: Vec<Duration> = (0..50).map(|i| markov(3).arrival_offset(i, 50)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(
+            a,
+            (0..50).map(|i| markov(4).arrival_offset(i, 50)).collect::<Vec<_>>(),
+            "different seeds must differ"
+        );
+        // Both regimes appear: some gaps are calm-sized, some storm-sized.
+        let gaps: Vec<f64> = a.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        assert!(gaps.iter().any(|&g| (g - 600.0).abs() < 1e-6), "calm spacing present");
+        assert!(gaps.iter().any(|&g| (g - 5.0).abs() < 1e-6), "storm spacing present");
+    }
+
+    #[test]
+    fn virtual_clock_compresses_hour_scale_schedules() {
+        // An hour of constant spacing drains in far under a second, telemetry
+        // is computed against virtual time, and the virtual clock ends at the
+        // last arrival's offset.
+        let platform = SocPlatform::small();
+        let generator = Arc::new(ScenarioGenerator::standard(5, 3));
+        let clock = Clock::virtual_clock();
+        let source = FleetSource::new(
+            Arc::clone(&generator),
+            7,
+            ArrivalSchedule::Constant { interval: Duration::from_secs(600) },
+        )
+        .with_clock(clock.clone());
+        let driver = ScenarioDriver::new(platform.clone(), 2).with_clock(clock.clone());
+        let wall = Instant::now();
+        let telemetry =
+            driver.run_stream(&source, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        assert!(wall.elapsed() < Duration::from_secs(1), "virtual hour must not take an hour");
+        assert_eq!(telemetry.scenarios, 7);
+        // Six 10-minute gaps of virtual time elapsed.
+        assert!(telemetry.wall_seconds >= 3_600.0, "virtual span {:.0}s", telemetry.wall_seconds);
+        assert!(clock.now_ns() >= 3_600 * 1_000_000_000);
+        // Virtual-time throughput: decisions over the simulated hour.
+        let expected = telemetry.decisions as f64 / telemetry.wall_seconds;
+        assert!((telemetry.decisions_per_second - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_fleet_reports_are_bit_identical_with_one_worker() {
+        let run = || {
+            FleetStress::new(SocPlatform::small(), generator(), 6, 1)
+                .with_schedule(ArrivalSchedule::Diurnal {
+                    period: Duration::from_secs(24 * 3_600),
+                    peak: Duration::from_secs(300),
+                    off_peak: Duration::from_secs(4 * 3_600),
+                })
+                .with_clock(Clock::virtual_clock())
+                .run(|_, _| Box::new(OndemandGovernor::new(&SocPlatform::small())))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.telemetry.wall_seconds.to_bits(), b.telemetry.wall_seconds.to_bits());
+        assert_eq!(
+            a.telemetry.decisions_per_second.to_bits(),
+            b.telemetry.decisions_per_second.to_bits()
+        );
+        assert_eq!(a.telemetry.total_energy_j.to_bits(), b.telemetry.total_energy_j.to_bits());
+        assert_eq!(a.telemetry.latency, b.telemetry.latency, "virtual latencies are deterministic");
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.families, b.families);
     }
 
     #[test]

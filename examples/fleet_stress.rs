@@ -2,41 +2,75 @@
 //!
 //! Streams a fleet of generated users — bursty compute, Markov-phased memory,
 //! diurnal mixes and perturbed paper suites — into the multi-worker
-//! `ScenarioDriver` under a bursty arrival schedule, serving online-IL
-//! policies from the shared artifact store next to ondemand/interactive
-//! governor fleets over the identical scenario stream.  Afterwards the run's
-//! trace is serialised to JSONL, parsed back and replayed on a fresh
-//! simulator to prove bit-identical reproduction, and the online-IL run is
-//! diffed against the governor run on the same user.
+//! `ScenarioDriver`, serving online-IL policies from the shared artifact
+//! store next to ondemand/interactive governor fleets over the identical
+//! scenario stream.  Afterwards the run's trace is serialised to JSONL,
+//! parsed back and replayed on a fresh simulator to prove bit-identical
+//! reproduction, and the online-IL run is diffed against the governor run on
+//! the same user.
 //!
 //! ```text
 //! cargo run --release --example fleet_stress
+//! cargo run --release --example fleet_stress -- --virtual-clock --trace-out fleet.jsonl
 //! ```
+//!
+//! `--virtual-clock` swaps the default bursty millisecond schedule for a 24 h
+//! sinusoidal diurnal arrival cycle driven by a shared virtual clock: the
+//! simulated day-plus of arrivals drains in milliseconds and the recorded
+//! trace is a deterministic function of the seed — CI runs this twice and
+//! byte-compares the `--trace-out` files.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use soclearn_core::prelude::*;
 use soclearn_core::report::render_table;
 use soclearn_scenarios::Trace;
 
 fn main() {
+    let mut virtual_clock = false;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--virtual-clock" => virtual_clock = true,
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out needs a file path"));
+            }
+            other => panic!("unknown argument {other:?} (try --virtual-clock, --trace-out PATH)"),
+        }
+    }
+
     let platform = SocPlatform::odroid_xu3();
     let scale = ExperimentScale::Quick;
-    let users = 12;
+    let users = if virtual_clock { 24 } else { 12 };
     let workers = 4;
 
     let artifacts = shared_artifacts(&platform, scale);
     let generator = ScenarioGenerator::standard(2020, 10);
     println!(
-        "Streaming {} users over {} generated families into {} workers (bursty arrivals)\n",
+        "Streaming {} users over {} generated families into {} workers ({})\n",
         users,
         generator.families().len(),
-        workers
+        workers,
+        if virtual_clock { "24 h diurnal arrivals on a virtual clock" } else { "bursty arrivals" }
     );
 
-    let fleet = FleetStress::new(platform.clone(), generator, users, workers)
-        .with_schedule(ArrivalSchedule::Bursty { burst: 4, gap: Duration::from_millis(5) })
+    let schedule = if virtual_clock {
+        ArrivalSchedule::Diurnal {
+            period: Duration::from_secs(24 * 3_600),
+            peak: Duration::from_secs(30 * 60),
+            off_peak: Duration::from_secs(4 * 3_600),
+        }
+    } else {
+        ArrivalSchedule::Bursty { burst: 4, gap: Duration::from_millis(5) }
+    };
+    let mut fleet = FleetStress::new(platform.clone(), generator, users, workers)
+        .with_schedule(schedule)
         .with_oracle_reference(OracleObjective::Energy);
+    if virtual_clock {
+        fleet = fleet.with_clock(Clock::virtual_clock());
+    }
+    let wall = Instant::now();
     let (il, [ondemand, interactive], [vs_ondemand, vs_interactive]) =
         fleet.run_against_governors(|_, _| {
             Box::new(artifacts.online_policy(OnlineIlConfig {
@@ -45,6 +79,13 @@ fn main() {
                 ..OnlineIlConfig::default()
             }))
         });
+    if virtual_clock {
+        println!(
+            "Virtual clock: {:.1} simulated hours of arrivals served in {:.0} ms of wall time.\n",
+            il.telemetry.wall_seconds / 3_600.0,
+            wall.elapsed().as_secs_f64() * 1e3,
+        );
+    }
 
     // Per-family fleet telemetry: online-IL energy against both governor
     // fleets plus oracle agreement.
@@ -80,13 +121,22 @@ fn main() {
             &rows
         )
     );
-    println!(
-        "Serving: {:.0} decisions/s, mean latency {:.1} us, p99 {:.1} us, tail max {:.1} us",
-        il.telemetry.decisions_per_second,
-        il.telemetry.latency.mean_ns() / 1e3,
-        il.telemetry.latency.quantile_upper_bound_ns(0.99) as f64 / 1e3,
-        il.telemetry.latency.max_ns() as f64 / 1e3,
-    );
+    if virtual_clock {
+        println!(
+            "Serving: {} decisions over {:.1} simulated hours ({:.2} decisions per virtual second)",
+            il.telemetry.decisions,
+            il.telemetry.wall_seconds / 3_600.0,
+            il.telemetry.decisions_per_second,
+        );
+    } else {
+        println!(
+            "Serving: {:.0} decisions/s, mean latency {:.1} us, p99 {:.1} us, tail max {:.1} us",
+            il.telemetry.decisions_per_second,
+            il.telemetry.latency.mean_ns() / 1e3,
+            il.telemetry.latency.quantile_upper_bound_ns(0.99) as f64 / 1e3,
+            il.telemetry.latency.max_ns() as f64 / 1e3,
+        );
+    }
     println!(
         "Fleet energy: online-IL {:.1} J, ondemand {:.1} J, interactive {:.1} J\n",
         il.telemetry.total_energy_j,
@@ -97,6 +147,10 @@ fn main() {
     // Trace record → JSONL → parse → replay: the whole fleet, bit for bit.
     let trace = Trace::from_records(&il.records);
     let jsonl = trace.to_jsonl();
+    if let Some(path) = &trace_out {
+        std::fs::write(path, &jsonl).expect("trace file writes");
+        println!("Wrote the online-IL fleet trace to {path}.");
+    }
     let decoded = Trace::from_jsonl(&jsonl).expect("recorded trace parses");
     assert_eq!(decoded, trace, "JSONL round trip must be lossless");
     let mut replayed = 0usize;

@@ -1,8 +1,12 @@
 //! Integration tests of the `soclearn-scenarios` subsystem: generator
 //! determinism across threads, trace record → replay bit-identity through the
 //! JSONL encoding, streaming-source parity with the pre-materialised driver
-//! path, and the quantised serving mode's documented accuracy bound on a
-//! paper suite.
+//! path, the quantised serving mode's documented accuracy bound on a paper
+//! suite, and the virtual-clock fleet path: a full simulated day of diurnal
+//! arrivals must drain in under a second of wall time with deterministic
+//! telemetry.
+
+use std::time::{Duration, Instant};
 
 use soclearn_core::prelude::*;
 use soclearn_runtime::scaled_suite;
@@ -129,5 +133,58 @@ fn quantised_serving_stays_within_documented_bound() {
     assert!(
         stats.hits > 0,
         "quantised buckets must coalesce sweeps within the thermally evolving run"
+    );
+}
+
+/// Long-horizon regression: a diurnal arrival schedule spanning more than 24
+/// simulated hours completes in well under a second of wall time on the
+/// virtual clock, and a same-seed rerun reproduces the per-family telemetry
+/// and the recorded decision stream bit-for-bit (the aggregations are in
+/// scenario-index order, so this holds at any worker count).
+#[test]
+fn day_long_diurnal_fleet_compresses_to_subsecond_wall_time() {
+    let day = |_| {
+        FleetStress::new(SocPlatform::small(), ScenarioGenerator::standard(2020, 6), 36, 4)
+            .with_schedule(ArrivalSchedule::Diurnal {
+                period: Duration::from_secs(24 * 3_600),
+                peak: Duration::from_secs(600),
+                off_peak: Duration::from_secs(3 * 3_600),
+            })
+            .with_clock(Clock::virtual_clock())
+            .run(|_, _| Box::new(OndemandGovernor::new(&SocPlatform::small())))
+    };
+    let wall = Instant::now();
+    let reference = day(0);
+    let elapsed = wall.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "a simulated day must not take {:.2}s of wall time",
+        elapsed.as_secs_f64()
+    );
+    assert!(
+        reference.telemetry.wall_seconds >= 24.0 * 3_600.0,
+        "the schedule must span a full simulated day, got {:.1}h",
+        reference.telemetry.wall_seconds / 3_600.0
+    );
+    assert_eq!(reference.telemetry.scenarios, 36);
+    assert_eq!(reference.families.len(), 4);
+
+    // Same-seed rerun: per-family aggregates and the recorded stream match
+    // the reference bit-for-bit.
+    let rerun = day(1);
+    assert_eq!(rerun.telemetry.wall_seconds.to_bits(), reference.telemetry.wall_seconds.to_bits());
+    for (a, b) in rerun.families.iter().zip(&reference.families) {
+        assert_eq!(a.family, b.family);
+        assert_eq!(a.scenarios, b.scenarios);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "family {} energy", a.family);
+        assert_eq!(a.time_s.to_bits(), b.time_s.to_bits(), "family {} time", a.family);
+    }
+    assert_eq!(rerun.records, reference.records);
+    // The recorded traces are byte-identical, which is what the CI
+    // determinism gate checks end to end through the fleet_stress example.
+    assert_eq!(
+        Trace::from_records(&rerun.records).to_jsonl(),
+        Trace::from_records(&reference.records).to_jsonl()
     );
 }
