@@ -64,12 +64,13 @@ pub mod prelude {
     };
     pub use soclearn_rl::{DqnAgent, QTableAgent, RlConfig};
     pub use soclearn_runtime::{
-        shared_artifacts, ArtifactStore, Clock, DriverTelemetry, ExperimentScale, ScenarioDriver,
-        ScenarioSource, ScenarioSpec, SliceSource, SweepCache, SweepEngine, TrainingArtifacts,
+        shared_artifacts, ArtifactStore, Clock, DriverTelemetry, ExperimentScale, QueueStamp,
+        ScenarioDriver, ScenarioSource, ScenarioSpec, SliceSource, SweepCache, SweepEngine,
+        TrainingArtifacts,
     };
     pub use soclearn_scenarios::{
-        replay, ArrivalSchedule, FleetSource, FleetStress, PhasePattern, ScenarioGenerator,
-        SnippetDistribution, Trace, TraceDiff,
+        fifo_stamps, replay, ArrivalSchedule, FleetReport, FleetSource, FleetStress, PhasePattern,
+        QueueReport, QueueingConfig, ScenarioGenerator, SnippetDistribution, Trace, TraceDiff,
     };
     pub use soclearn_soc_sim::{
         DvfsConfig, DvfsPolicy, PolicyDecision, SnippetCounters, SnippetExecution, SocPlatform,

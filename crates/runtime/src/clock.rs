@@ -91,6 +91,36 @@ impl Clock {
         }
     }
 
+    /// Spends `delta_ns` of clock time serving, returning the caller's own
+    /// position on the timeline afterwards.
+    ///
+    /// Wall clock: a **no-op** — real time advances on its own while the work
+    /// actually runs, so simulated service time must not be slept on top of
+    /// it; the current reading is returned.  Virtual clock: the shared counter
+    /// is `fetch_max`-advanced to `now + delta_ns`, so discrete-event time
+    /// passes while a worker serves a decision, exactly like
+    /// [`Clock::wait_until_ns`] makes it pass while waiting for an arrival.
+    ///
+    /// Concurrency: the advance never moves time backwards (it is a
+    /// `fetch_max`, so a worker whose target is already in the past leaves the
+    /// clock untouched), and the returned value is the *advancing worker's*
+    /// position — with several workers advancing concurrently the shared
+    /// counter interleaves their reads, so the global reading is only a
+    /// deterministic function of the workload at one worker.  Queueing
+    /// telemetry that must stay bit-deterministic at any worker count is
+    /// therefore computed from schedule-relative stamps (see the fleet
+    /// harness), never from this counter.
+    pub fn advance_ns(&self, delta_ns: u64) -> u64 {
+        match self {
+            Clock::Wall(anchor) => anchor.elapsed().as_nanos() as u64,
+            Clock::Virtual(now) => {
+                let target = now.load(Ordering::SeqCst).saturating_add(delta_ns);
+                now.fetch_max(target, Ordering::SeqCst);
+                target
+            }
+        }
+    }
+
     /// Seconds elapsed since an earlier reading of this clock.
     pub fn seconds_since(&self, start_ns: u64) -> f64 {
         self.now_ns().saturating_sub(start_ns) as f64 / 1e9
@@ -129,6 +159,31 @@ mod tests {
         let other = clock.clone();
         clock.wait_until_ns(1_000);
         assert_eq!(other.now_ns(), 1_000);
+    }
+
+    #[test]
+    fn advancing_spends_virtual_time_without_sleeping() {
+        let clock = Clock::virtual_clock();
+        let wall = Instant::now();
+        let position = clock.advance_ns(5_000_000_000); // five virtual seconds
+        assert_eq!(position, 5_000_000_000);
+        assert_eq!(clock.now_ns(), 5_000_000_000);
+        assert!(wall.elapsed() < Duration::from_millis(100), "virtual advance must not sleep");
+        // Advances compose with waits on the same monotone counter.
+        clock.wait_until_ns(7_000_000_000);
+        assert_eq!(clock.advance_ns(1_000_000_000), 8_000_000_000);
+        // Zero advance is a no-op.
+        assert_eq!(clock.advance_ns(0), 8_000_000_000);
+    }
+
+    #[test]
+    fn wall_advance_is_a_no_op() {
+        let clock = Clock::wall();
+        let before = Instant::now();
+        let reading = clock.advance_ns(3_600 * 1_000_000_000);
+        assert!(before.elapsed() < Duration::from_millis(100), "wall advance must not sleep");
+        // The returned reading is just "now": far below the requested hour.
+        assert!(reading < 1_000_000_000);
     }
 
     #[test]

@@ -56,6 +56,38 @@ impl ScenarioSpec {
     }
 }
 
+/// Queueing timestamps of one served scenario, on the source's timeline.
+///
+/// All fields are nanoseconds **relative to the source's epoch** (the instant
+/// its first scenario was claimed), never absolute clock readings — that keeps
+/// the stamps a pure function of the arrival schedule and the decisions'
+/// simulated service times, bit-deterministic at any worker count even though
+/// the shared virtual clock itself interleaves concurrent advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStamp {
+    /// When the scenario arrived (its scheduled admission offset).
+    pub arrival_ns: u64,
+    /// When its service began: the arrival, or later if the scenario's user
+    /// was still busy with an earlier arrival (FIFO head-of-line wait).
+    pub start_ns: u64,
+    /// When its service completed (`start_ns + service_ns`).
+    pub completion_ns: u64,
+    /// Simulated service duration (per-decision `time_s`, dilation applied).
+    pub service_ns: u64,
+}
+
+impl QueueStamp {
+    /// Time in system: queueing wait plus service.
+    pub fn sojourn_ns(&self) -> u64 {
+        self.completion_ns.saturating_sub(self.arrival_ns)
+    }
+
+    /// Head-of-line queueing delay before service began.
+    pub fn delay_ns(&self) -> u64 {
+        self.start_ns.saturating_sub(self.arrival_ns)
+    }
+}
+
 /// A stream of scenarios served by the driver's worker pool.
 ///
 /// Workers call [`ScenarioSource::next_scenario`] until it returns `None`; the
@@ -67,6 +99,18 @@ impl ScenarioSpec {
 pub trait ScenarioSource: Sync {
     /// Claims the next scenario, or `None` once the stream is exhausted.
     fn next_scenario(&self) -> Option<(usize, ScenarioSpec)>;
+
+    /// Reports that scenario `index` finished serving after `service_ns` of
+    /// simulated service time, and asks the source to place it on the queueing
+    /// timeline.  Called by the driver only in service-time mode
+    /// ([`ScenarioDriver::with_service_time`]); the default implementation
+    /// models no queue and returns `None`.  Queue-aware sources (the fleet
+    /// source's per-user FIFO model) return the scenario's [`QueueStamp`],
+    /// which the driver folds into its sojourn/queue-delay telemetry and the
+    /// recorded trace.
+    fn scenario_served(&self, _index: usize, _service_ns: u64) -> Option<QueueStamp> {
+        None
+    }
 }
 
 /// [`ScenarioSource`] over a pre-materialised slice, claiming scenarios in
@@ -128,16 +172,22 @@ pub struct ScenarioRecord {
     /// Decisions whose big-cluster level matched the Oracle reference, when
     /// the driver ran with one.
     pub oracle_matches: Option<usize>,
+    /// Queueing timestamps, when the driver ran in service-time mode against
+    /// a queue-aware source.
+    pub queue: Option<QueueStamp>,
     /// The per-decision records in execution order.
     pub decisions: Vec<DecisionRecord>,
 }
 
-/// Number of power-of-two latency buckets (1 ns up to ~1 s per decision).
-const LATENCY_BUCKETS: usize = 30;
+/// Number of power-of-two latency buckets (1 ns up to ~3 simulated days, so
+/// the same histogram covers nanosecond policy latencies and hour-scale
+/// virtual-time sojourns).
+const LATENCY_BUCKETS: usize = 48;
 
-/// Power-of-two histogram of per-decision policy latencies.
+/// Power-of-two histogram of nanosecond durations (per-decision policy
+/// latencies, queueing sojourns and delays).
 ///
-/// Bucket `i` counts decisions whose latency was in `[2^i, 2^(i+1))`
+/// Bucket `i` counts samples whose duration was in `[2^i, 2^(i+1))`
 /// nanoseconds; the last bucket absorbs everything slower.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
@@ -194,7 +244,7 @@ impl LatencyHistogram {
     /// Upper bound (bucket edge) of the latency at quantile `q ∈ [0, 1]`.
     ///
     /// The last bucket has no finite edge (it absorbs everything slower than
-    /// `2^29` ns), so quantiles landing there report the recorded maximum.
+    /// `2^47` ns), so quantiles landing there report the recorded maximum.
     pub fn quantile_upper_bound_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -235,6 +285,10 @@ pub struct WorkerTelemetry {
     pub energy_j: f64,
     /// Simulated execution time over this worker's scenarios, seconds.
     pub simulated_time_s: f64,
+    /// Clock time this worker spent *serving* (per-decision simulated time
+    /// with the dilation factor applied), seconds.  Zero unless the driver
+    /// runs in service-time mode.
+    pub busy_s: f64,
     /// Decisions whose big-cluster level matched the Oracle reference.
     pub oracle_matches: usize,
 }
@@ -258,6 +312,19 @@ pub struct DriverTelemetry {
     pub decisions_per_second: f64,
     /// Per-decision policy latency distribution.
     pub latency: LatencyHistogram,
+    /// Clock time spent serving across all workers (per-decision simulated
+    /// time with the dilation applied), seconds.  Zero unless the driver runs
+    /// in service-time mode ([`ScenarioDriver::with_service_time`]).
+    pub service_time_s: f64,
+    /// Per-scenario sojourn times (queueing wait + service) on the source's
+    /// queueing timeline.  Populated only when a queue-aware source returns
+    /// [`QueueStamp`]s; merging integer histograms is order-independent, so
+    /// this field is bit-deterministic at any worker count.
+    pub sojourn: LatencyHistogram,
+    /// Per-scenario head-of-line queueing delays (time between arrival and
+    /// service start).  Same population rules as
+    /// [`DriverTelemetry::sojourn`].
+    pub queue_delay: LatencyHistogram,
     /// Fraction of decisions whose big-cluster level matched the Oracle
     /// reference; `None` when the driver ran without an Oracle reference.
     pub oracle_agreement: Option<f64>,
@@ -277,6 +344,9 @@ pub struct ScenarioDriver {
     serving_cache: Option<Arc<SweepCache>>,
     /// Time source for run duration and per-decision latency stamps.
     clock: Clock,
+    /// Service-time mode: each decision advances the clock by its simulated
+    /// `time_s` scaled by this dilation factor.
+    service_dilation: Option<f64>,
 }
 
 impl ScenarioDriver {
@@ -294,6 +364,7 @@ impl ScenarioDriver {
             oracle_reference: None,
             serving_cache: None,
             clock: Clock::wall(),
+            service_dilation: None,
         }
     }
 
@@ -318,6 +389,40 @@ impl ScenarioDriver {
     /// The driver's time source.
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// Switches the driver into **service-time mode**: after each decision the
+    /// worker spends the decision's simulated execution time on the driver's
+    /// clock — `time_s × time_dilation`, via [`Clock::advance_ns`] — so under
+    /// a virtual clock decisions are no longer served in zero virtual time and
+    /// the run's duration, throughput and utilisation reflect the load the
+    /// decisions actually put on the fleet.  (Under a wall clock the advance
+    /// is a no-op: real time already passes while the work runs.)
+    ///
+    /// `time_dilation` scales simulated seconds into clock seconds: `1.0`
+    /// models the SoCs serving in real time, `60.0` stretches each simulated
+    /// second into a virtual minute (an easy way to saturate a fleet), values
+    /// below one compress.  In this mode the driver also reports each served
+    /// scenario back to its source ([`ScenarioSource::scenario_served`]);
+    /// queue-aware sources return [`QueueStamp`]s, which feed the sojourn and
+    /// queue-delay histograms and the recorded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_dilation` is not finite and positive.
+    #[must_use]
+    pub fn with_service_time(mut self, time_dilation: f64) -> Self {
+        assert!(
+            time_dilation.is_finite() && time_dilation > 0.0,
+            "time dilation must be finite and positive, got {time_dilation}"
+        );
+        self.service_dilation = Some(time_dilation);
+        self
+    }
+
+    /// The service-time dilation factor, when service-time mode is on.
+    pub fn service_time_dilation(&self) -> Option<f64> {
+        self.service_dilation
     }
 
     /// Scores every decision against an Oracle run of the same scenario under
@@ -434,10 +539,14 @@ impl ScenarioDriver {
 
         worker_slots.sort_by_key(|slot| slot.telemetry.worker);
         let mut latency = LatencyHistogram::new();
+        let mut sojourn = LatencyHistogram::new();
+        let mut queue_delay = LatencyHistogram::new();
         let mut workers = Vec::with_capacity(worker_slots.len());
         let mut records = Vec::new();
         for slot in worker_slots {
             latency.merge(&slot.latency);
+            sojourn.merge(&slot.sojourn);
+            queue_delay.merge(&slot.queue_delay);
             workers.push(slot.telemetry);
             records.extend(slot.records);
         }
@@ -451,6 +560,9 @@ impl ScenarioDriver {
             wall_seconds,
             decisions_per_second: decisions as f64 / wall_seconds.max(1e-9),
             latency,
+            service_time_s: workers.iter().map(|w| w.busy_s).sum(),
+            sojourn,
+            queue_delay,
             oracle_agreement: self.oracle_reference.map(|_| {
                 if decisions == 0 {
                     0.0
@@ -477,9 +589,12 @@ impl ScenarioDriver {
                 decisions: 0,
                 energy_j: 0.0,
                 simulated_time_s: 0.0,
+                busy_s: 0.0,
                 oracle_matches: 0,
             },
             latency: LatencyHistogram::new(),
+            sojourn: LatencyHistogram::new(),
+            queue_delay: LatencyHistogram::new(),
             records: Vec::new(),
         };
         let mut oracle_engine = self
@@ -487,93 +602,156 @@ impl ScenarioDriver {
             .map(|_| SweepEngine::with_cache(self.platform.clone(), Arc::clone(&self.cache)));
 
         while let Some((index, scenario)) = source.next_scenario() {
-            let mut policy = make_policy(index, &scenario);
-            let policy_name = record.then(|| policy.name().to_owned());
-
-            let oracle_decisions = match (&mut oracle_engine, self.oracle_reference) {
-                (Some(engine), Some(objective)) => {
-                    engine.reset();
-                    Some(engine.oracle_run(&scenario.profiles, objective).decisions)
-                }
-                _ => None,
-            };
-
-            // Exact serving executes directly on a private simulator; quantised
-            // serving routes executions through the shared bucketed cache (the
-            // engine owns its own simulator, so only one of the two exists).
-            let mut serving_engine = self
-                .serving_cache
-                .as_ref()
-                .map(|cache| SweepEngine::with_cache(self.platform.clone(), Arc::clone(cache)));
-            let mut sim = match serving_engine {
-                None => Some(SocSimulator::new(self.platform.clone())),
-                Some(_) => None,
-            };
-            let mut scenario_matches = 0usize;
-            let mut decisions = record.then(|| Vec::with_capacity(scenario.profiles.len()));
-            let mut counters = SnippetCounters::default();
-            let mut config = self.platform.max_config();
-            for (i, profile) in scenario.profiles.iter().enumerate() {
-                // Virtual clock: decisions are instantaneous in discrete-event
-                // time — reading the shared counter around `decide` would pick
-                // up *other* workers' arrival advances as phantom latency.
-                let decision_started_ns = (!self.clock.is_virtual()).then(|| self.clock.now_ns());
-                config = policy.decide(&self.platform, PolicyDecision::new(&counters, config, i));
-                slot.latency.record(match decision_started_ns {
-                    Some(started_ns) => self.clock.now_ns().saturating_sub(started_ns),
-                    None => 0,
-                });
-                let (big_temp_c, little_temp_c, result) = match &mut serving_engine {
-                    Some(engine) => {
-                        let temps =
-                            (engine.sim().big_temperature_c(), engine.sim().little_temperature_c());
-                        (temps.0, temps.1, engine.execute(profile, config))
-                    }
-                    None => {
-                        let sim = sim.as_mut().expect("exact serving owns a simulator");
-                        (
-                            sim.big_temperature_c(),
-                            sim.little_temperature_c(),
-                            sim.execute_snippet(profile, config),
-                        )
-                    }
-                };
-                policy.observe_outcome(result.energy_j, result.time_s);
-                counters = result.counters;
-                slot.telemetry.decisions += 1;
-                slot.telemetry.energy_j += result.energy_j;
-                slot.telemetry.simulated_time_s += result.time_s;
-                if let Some(reference) = &oracle_decisions {
-                    if reference[i].big_idx == config.big_idx {
-                        slot.telemetry.oracle_matches += 1;
-                        scenario_matches += 1;
-                    }
-                }
-                if let Some(decisions) = &mut decisions {
-                    decisions.push(DecisionRecord {
-                        index: i,
-                        profile: profile.clone(),
-                        config,
-                        big_temp_c,
-                        little_temp_c,
-                        energy_j: result.energy_j,
-                        time_s: result.time_s,
-                        counters: result.counters,
-                    });
-                }
-            }
-            slot.telemetry.scenarios += 1;
-            if let Some(decisions) = decisions {
-                slot.records.push(ScenarioRecord {
+            // In service-time mode later arrivals of the same user block on
+            // this scenario's queue stamp, so a panic while serving must
+            // still stamp it (with the service accumulated so far) before
+            // propagating at join — otherwise the whole run hangs in the
+            // queue model's condvar instead of failing.  `AssertUnwindSafe`
+            // is sound here: on the unwind path the worker's state is only
+            // handed back to `resume_unwind`, never reused.
+            let mut service_ns = 0u64;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.serve_scenario(
                     index,
-                    name: scenario.name.clone(),
-                    policy: policy_name.unwrap_or_default(),
-                    oracle_matches: oracle_decisions.as_ref().map(|_| scenario_matches),
-                    decisions,
-                });
+                    &scenario,
+                    source,
+                    make_policy,
+                    record,
+                    &mut slot,
+                    &mut oracle_engine,
+                    &mut service_ns,
+                );
+            }));
+            if let Err(panic) = outcome {
+                if self.service_dilation.is_some() {
+                    source.scenario_served(index, service_ns);
+                }
+                std::panic::resume_unwind(panic);
             }
         }
         slot
+    }
+
+    /// Serves one claimed scenario end to end, accumulating into `slot`.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_scenario<S, F>(
+        &self,
+        index: usize,
+        scenario: &ScenarioSpec,
+        source: &S,
+        make_policy: &F,
+        record: bool,
+        slot: &mut WorkerSlot,
+        oracle_engine: &mut Option<SweepEngine>,
+        service_ns: &mut u64,
+    ) where
+        S: ScenarioSource + ?Sized,
+        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
+        let mut policy = make_policy(index, scenario);
+        let policy_name = record.then(|| policy.name().to_owned());
+
+        let oracle_decisions = match (&mut *oracle_engine, self.oracle_reference) {
+            (Some(engine), Some(objective)) => {
+                engine.reset();
+                Some(engine.oracle_run(&scenario.profiles, objective).decisions)
+            }
+            _ => None,
+        };
+
+        // Exact serving executes directly on a private simulator; quantised
+        // serving routes executions through the shared bucketed cache (the
+        // engine owns its own simulator, so only one of the two exists).
+        let mut serving_engine = self
+            .serving_cache
+            .as_ref()
+            .map(|cache| SweepEngine::with_cache(self.platform.clone(), Arc::clone(cache)));
+        let mut sim = match serving_engine {
+            None => Some(SocSimulator::new(self.platform.clone())),
+            Some(_) => None,
+        };
+        let mut scenario_matches = 0usize;
+        let mut decisions = record.then(|| Vec::with_capacity(scenario.profiles.len()));
+        let mut counters = SnippetCounters::default();
+        let mut config = self.platform.max_config();
+        for (i, profile) in scenario.profiles.iter().enumerate() {
+            // Virtual clock: decisions are instantaneous in discrete-event
+            // time — reading the shared counter around `decide` would pick
+            // up *other* workers' arrival advances as phantom latency.
+            let decision_started_ns = (!self.clock.is_virtual()).then(|| self.clock.now_ns());
+            config = policy.decide(&self.platform, PolicyDecision::new(&counters, config, i));
+            slot.latency.record(match decision_started_ns {
+                Some(started_ns) => self.clock.now_ns().saturating_sub(started_ns),
+                None => 0,
+            });
+            let (big_temp_c, little_temp_c, result) = match &mut serving_engine {
+                Some(engine) => {
+                    let temps =
+                        (engine.sim().big_temperature_c(), engine.sim().little_temperature_c());
+                    (temps.0, temps.1, engine.execute(profile, config))
+                }
+                None => {
+                    let sim = sim.as_mut().expect("exact serving owns a simulator");
+                    (
+                        sim.big_temperature_c(),
+                        sim.little_temperature_c(),
+                        sim.execute_snippet(profile, config),
+                    )
+                }
+            };
+            policy.observe_outcome(result.energy_j, result.time_s);
+            counters = result.counters;
+            if let Some(dilation) = self.service_dilation {
+                // Serving spends virtual time: each decision's simulated
+                // execution time (dilated) passes on the driver's clock.
+                // Integer nanoseconds keep the per-scenario totals exact
+                // and order-independent.
+                let decision_ns = (result.time_s.max(0.0) * dilation * 1e9).round() as u64;
+                *service_ns = service_ns.saturating_add(decision_ns);
+                self.clock.advance_ns(decision_ns);
+                slot.telemetry.busy_s += decision_ns as f64 / 1e9;
+            }
+            slot.telemetry.decisions += 1;
+            slot.telemetry.energy_j += result.energy_j;
+            slot.telemetry.simulated_time_s += result.time_s;
+            if let Some(reference) = &oracle_decisions {
+                if reference[i].big_idx == config.big_idx {
+                    slot.telemetry.oracle_matches += 1;
+                    scenario_matches += 1;
+                }
+            }
+            if let Some(decisions) = &mut decisions {
+                decisions.push(DecisionRecord {
+                    index: i,
+                    profile: profile.clone(),
+                    config,
+                    big_temp_c,
+                    little_temp_c,
+                    energy_j: result.energy_j,
+                    time_s: result.time_s,
+                    counters: result.counters,
+                });
+            }
+        }
+        slot.telemetry.scenarios += 1;
+        // Service-time mode: hand the scenario's service duration back to
+        // the source, which places it on the queueing timeline (FIFO
+        // behind earlier arrivals of the same user).
+        let queue = self.service_dilation.and_then(|_| source.scenario_served(index, *service_ns));
+        if let Some(stamp) = &queue {
+            slot.sojourn.record(stamp.sojourn_ns());
+            slot.queue_delay.record(stamp.delay_ns());
+        }
+        if let Some(decisions) = decisions {
+            slot.records.push(ScenarioRecord {
+                index,
+                name: scenario.name.clone(),
+                policy: policy_name.unwrap_or_default(),
+                oracle_matches: oracle_decisions.as_ref().map(|_| scenario_matches),
+                queue,
+                decisions,
+            });
+        }
     }
 }
 
@@ -581,6 +759,8 @@ impl ScenarioDriver {
 struct WorkerSlot {
     telemetry: WorkerTelemetry,
     latency: LatencyHistogram,
+    sojourn: LatencyHistogram,
+    queue_delay: LatencyHistogram,
     records: Vec<ScenarioRecord>,
 }
 
@@ -727,6 +907,70 @@ mod tests {
         assert!(delta < 0.02, "quantised serving drifted {:.3}% from exact", delta * 100.0);
         let stats = quantised_driver.serving_cache().expect("quantised cache exists").stats();
         assert!(stats.hits > 0, "bucketed keys must coalesce repeated snippets");
+    }
+
+    #[test]
+    fn service_time_mode_spends_virtual_time_serving() {
+        let platform = SocPlatform::small();
+        let specs = scenarios(4);
+        let clock = Clock::virtual_clock();
+        let driver = ScenarioDriver::new(platform.clone(), 1)
+            .with_clock(clock.clone())
+            .with_service_time(1.0);
+        assert_eq!(driver.service_time_dilation(), Some(1.0));
+        let telemetry = driver.run(&specs, |_, _| Box::new(OndemandGovernor::new(&platform)));
+        // Decisions are no longer instantaneous: the run's virtual span covers
+        // the simulated service time, and busy time accounts for it exactly.
+        assert!(telemetry.service_time_s > 0.0);
+        assert!(
+            (telemetry.service_time_s - telemetry.simulated_time_s).abs()
+                < 1e-6 * telemetry.simulated_time_s.max(1.0),
+            "dilation 1.0 must spend one virtual second per simulated second"
+        );
+        assert!(telemetry.wall_seconds >= telemetry.service_time_s * (1.0 - 1e-9));
+        assert_eq!(clock.now_ns(), (telemetry.wall_seconds * 1e9).round() as u64);
+        assert!((telemetry.workers[0].busy_s - telemetry.service_time_s).abs() < 1e-12);
+        // No queue-aware source: the sojourn histograms stay empty.
+        assert_eq!(telemetry.sojourn.count(), 0);
+        assert_eq!(telemetry.queue_delay.count(), 0);
+    }
+
+    #[test]
+    fn service_time_dilation_scales_the_virtual_span() {
+        let platform = SocPlatform::small();
+        let specs = scenarios(2);
+        let run = |dilation: f64| {
+            ScenarioDriver::new(platform.clone(), 1)
+                .with_clock(Clock::virtual_clock())
+                .with_service_time(dilation)
+                .run(&specs, |_, _| Box::new(OndemandGovernor::new(&platform)))
+        };
+        let (base, stretched) = (run(1.0), run(60.0));
+        assert_eq!(base.decisions, stretched.decisions);
+        let ratio = stretched.service_time_s / base.service_time_s;
+        assert!((ratio - 60.0).abs() < 1e-6, "dilation must scale busy time, got {ratio}");
+        assert!(stretched.wall_seconds > base.wall_seconds * 50.0);
+    }
+
+    #[test]
+    fn without_service_time_records_have_no_queue_stamps() {
+        let platform = SocPlatform::small();
+        let specs = scenarios(2);
+        let driver = ScenarioDriver::new(platform.clone(), 1);
+        let (telemetry, records) = driver.run_recorded(&SliceSource::new(&specs), |_, _| {
+            Box::new(OndemandGovernor::new(&platform))
+        });
+        assert_eq!(telemetry.service_time_s, 0.0);
+        assert!(records.iter().all(|r| r.queue.is_none()));
+    }
+
+    #[test]
+    fn queue_stamp_durations_are_consistent() {
+        let stamp =
+            QueueStamp { arrival_ns: 100, start_ns: 250, completion_ns: 400, service_ns: 150 };
+        assert_eq!(stamp.sojourn_ns(), 300);
+        assert_eq!(stamp.delay_ns(), 150);
+        assert_eq!(stamp.sojourn_ns(), stamp.delay_ns() + stamp.service_ns);
     }
 
     #[test]

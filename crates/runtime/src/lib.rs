@@ -54,7 +54,7 @@ pub use artifacts::{
 };
 pub use clock::Clock;
 pub use driver::{
-    DecisionRecord, DriverTelemetry, LatencyHistogram, ScenarioDriver, ScenarioRecord,
+    DecisionRecord, DriverTelemetry, LatencyHistogram, QueueStamp, ScenarioDriver, ScenarioRecord,
     ScenarioSource, ScenarioSpec, SliceSource, WorkerTelemetry,
 };
 pub use scale::ExperimentScale;

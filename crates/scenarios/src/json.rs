@@ -6,29 +6,36 @@
 //! trace format emits: objects, arrays, strings, integer/float numbers,
 //! booleans and null.  Numbers keep their literal text so `u64` bit patterns
 //! (which do not round-trip through `f64`) parse exactly.
+//!
+//! The parsed tree **borrows** from the input: numbers are source slices and
+//! strings borrow unless they contain escapes ([`std::borrow::Cow`]), so the
+//! trace-decode hot path — dozens of keys and numbers per line — allocates
+//! only for the containers, not per token.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed JSON value.  Numbers keep the source literal so integer bit
-/// patterns survive untouched.
+/// A parsed JSON value borrowing from the input text.  Numbers keep the
+/// source literal so integer bit patterns survive untouched.
 #[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
+pub enum JsonValue<'a> {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
     /// Any number, as its source literal.
-    Number(String),
-    /// A string literal (escapes resolved).
-    String(String),
+    Number(&'a str),
+    /// A string literal; borrowed from the source unless escapes had to be
+    /// resolved.
+    String(Cow<'a, str>),
     /// An array.
-    Array(Vec<JsonValue>),
+    Array(Vec<JsonValue<'a>>),
     /// An object; BTreeMap keeps iteration deterministic.
-    Object(BTreeMap<String, JsonValue>),
+    Object(BTreeMap<Cow<'a, str>, JsonValue<'a>>),
 }
 
-impl JsonValue {
+impl<'a> JsonValue<'a> {
     /// The value as `u64`, if it is an unsigned integer literal.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
@@ -54,7 +61,7 @@ impl JsonValue {
     }
 
     /// The value as an array, if it is one.
-    pub fn as_array(&self) -> Option<&[JsonValue]> {
+    pub fn as_array(&self) -> Option<&[JsonValue<'a>]> {
         match self {
             JsonValue::Array(items) => Some(items),
             _ => None,
@@ -62,7 +69,7 @@ impl JsonValue {
     }
 
     /// Looks up an object member.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+    pub fn get(&self, key: &str) -> Option<&JsonValue<'a>> {
         match self {
             JsonValue::Object(members) => members.get(key),
             _ => None,
@@ -87,8 +94,9 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-/// Parses one JSON document, requiring it to span the whole input.
-pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+/// Parses one JSON document, requiring it to span the whole input.  The
+/// returned tree borrows from `input`.
+pub fn parse(input: &str) -> Result<JsonValue<'_>, JsonError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;
@@ -97,6 +105,14 @@ pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
         return Err(JsonError { expected: "end of input", offset: pos });
     }
     Ok(value)
+}
+
+/// Re-borrows `bytes[start..end]` as text.  The input to [`parse`] is a
+/// `&str` and the parser only splits at ASCII delimiters, so this never fails
+/// in practice; the error covers direct byte-level misuse.
+fn str_slice(bytes: &[u8], start: usize, end: usize) -> Result<&str, JsonError> {
+    std::str::from_utf8(&bytes[start..end])
+        .map_err(|_| JsonError { expected: "UTF-8 text", offset: start })
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -115,7 +131,7 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8, what: &'static str) -> Result
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_value<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<JsonValue<'a>, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         Some(b'{') => parse_object(bytes, pos),
@@ -129,12 +145,12 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
     }
 }
 
-fn parse_literal(
+fn parse_literal<'a>(
     bytes: &[u8],
     pos: &mut usize,
     literal: &'static str,
-    value: JsonValue,
-) -> Result<JsonValue, JsonError> {
+    value: JsonValue<'a>,
+) -> Result<JsonValue<'a>, JsonError> {
     if bytes[*pos..].starts_with(literal.as_bytes()) {
         *pos += literal.len();
         Ok(value)
@@ -143,7 +159,7 @@ fn parse_literal(
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_number<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<JsonValue<'a>, JsonError> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -155,20 +171,37 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
     if *pos == digits_start {
         return Err(JsonError { expected: "digits", offset: *pos });
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| JsonError { expected: "UTF-8 number", offset: start })?;
-    Ok(JsonValue::Number(text.to_owned()))
+    Ok(JsonValue::Number(str_slice(bytes, start, *pos)?))
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+fn parse_string<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<Cow<'a, str>, JsonError> {
     expect(bytes, pos, b'"', "a string")?;
-    let mut out = String::new();
+    // Fast path: scan the whole literal in one pass; if it contains no escape
+    // the result borrows the source.  A byte scan cannot split a multi-byte
+    // UTF-8 character, because those never contain the ASCII bytes `"` or
+    // `\`.  (Validating per character used to re-scan the entire remaining
+    // input for every byte — an O(n²) wall the trace-decode path hit on every
+    // object key.)
+    let start = *pos;
+    while matches!(bytes.get(*pos), Some(b) if *b != b'"' && *b != b'\\') {
+        *pos += 1;
+    }
+    match bytes.get(*pos) {
+        None => return Err(JsonError { expected: "closing quote", offset: *pos }),
+        Some(b'"') => {
+            let literal = str_slice(bytes, start, *pos)?;
+            *pos += 1;
+            return Ok(Cow::Borrowed(literal));
+        }
+        _ => {} // an escape: fall through to the owned slow path
+    }
+    let mut out = String::from(str_slice(bytes, start, *pos)?);
     loop {
         match bytes.get(*pos) {
             None => return Err(JsonError { expected: "closing quote", offset: *pos }),
             Some(b'"') => {
                 *pos += 1;
-                return Ok(out);
+                return Ok(Cow::Owned(out));
             }
             Some(b'\\') => {
                 *pos += 1;
@@ -196,18 +229,17 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character (1–4 bytes).
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| JsonError { expected: "UTF-8 text", offset: *pos })?;
-                let c = rest.chars().next().expect("non-empty by the match");
-                out.push(c);
-                *pos += c.len_utf8();
+                let start = *pos;
+                while matches!(bytes.get(*pos), Some(b) if *b != b'"' && *b != b'\\') {
+                    *pos += 1;
+                }
+                out.push_str(str_slice(bytes, start, *pos)?);
             }
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_array<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<JsonValue<'a>, JsonError> {
     expect(bytes, pos, b'[', "an array")?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -229,7 +261,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_object<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<JsonValue<'a>, JsonError> {
     expect(bytes, pos, b'{', "an object")?;
     let mut members = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -267,7 +299,7 @@ mod tests {
         assert_eq!(value.get("big").and_then(JsonValue::as_u64), Some(u64::MAX));
         let items = value.get("b").and_then(JsonValue::as_array).expect("array");
         assert_eq!(items.len(), 4);
-        assert_eq!(items[1], JsonValue::Number("-3".to_owned()));
+        assert_eq!(items[1], JsonValue::Number("-3"));
         assert_eq!(items[2], JsonValue::Bool(true));
         assert_eq!(items[3], JsonValue::Null);
         assert_eq!(
@@ -282,8 +314,21 @@ mod tests {
         let encoded = serde_json::to_string(&vec![Some(1.25f64), None]).expect("encodes");
         let parsed = parse(&encoded).expect("parses");
         let items = parsed.as_array().expect("array");
-        assert_eq!(items[0], JsonValue::Number("1.25".to_owned()));
+        assert_eq!(items[0], JsonValue::Number("1.25"));
         assert_eq!(items[1], JsonValue::Null);
+    }
+
+    #[test]
+    fn plain_strings_borrow_and_escaped_strings_allocate() {
+        let value = parse(r#"{"plain":"instructions","escaped":"a\nb"}"#).expect("parses");
+        match value.get("plain") {
+            Some(JsonValue::String(Cow::Borrowed(text))) => assert_eq!(*text, "instructions"),
+            other => panic!("escape-free strings must borrow, got {other:?}"),
+        }
+        match value.get("escaped") {
+            Some(JsonValue::String(Cow::Owned(text))) => assert_eq!(text, "a\nb"),
+            other => panic!("escaped strings must resolve to owned text, got {other:?}"),
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub use generator::{
     FamilySpec, Perturbation, PhasePattern, ScenarioFamily, ScenarioGenerator, SnippetDistribution,
 };
 pub use stress::{
-    ArrivalSchedule, FamilyEnergyDelta, FamilyTelemetry, FleetReport, FleetSource, FleetStress,
+    fifo_stamps, sorted_quantile_ns, ArrivalSchedule, FamilyEnergyDelta, FamilyTelemetry,
+    FleetReport, FleetSource, FleetStress, QueueReport, QueueingConfig,
 };
 pub use trace::{replay, ReplayReport, ScenarioTrace, Trace, TraceDecision, TraceDiff, TraceError};

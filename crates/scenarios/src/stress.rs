@@ -17,15 +17,25 @@
 //! time instead of sleeping, compressing a 24 h diurnal schedule into the
 //! milliseconds the decisions take to serve, with deterministic virtual-time
 //! telemetry.
+//!
+//! With [`FleetStress::with_queueing`] the fleet additionally spends
+//! *service* time on that clock: each decision's simulated `time_s` (scaled
+//! by a time-dilation factor) passes in virtual time, and arrivals are
+//! round-robined onto per-user FIFO servers so an arrival that lands while
+//! its user is busy queues behind it.  The resulting sojourn/queueing-delay/
+//! backlog/utilisation telemetry ([`QueueReport`], the queueing fields of
+//! [`FamilyTelemetry`]) is computed from schedule-relative [`QueueStamp`]s in
+//! scenario-index order — bit-deterministic at any worker count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 use soclearn_governors::{InteractiveGovernor, OndemandGovernor};
 use soclearn_oracle::OracleObjective;
 use soclearn_runtime::{
-    Clock, DriverTelemetry, ScenarioDriver, ScenarioRecord, ScenarioSource, ScenarioSpec,
+    Clock, DriverTelemetry, QueueStamp, ScenarioDriver, ScenarioRecord, ScenarioSource,
+    ScenarioSpec,
 };
 use soclearn_soc_sim::{DvfsPolicy, SocPlatform};
 
@@ -159,6 +169,138 @@ impl ArrivalSchedule {
     }
 }
 
+/// Service-time queueing of a fleet: how arrivals map to users and how
+/// simulated decision time turns into clock time.
+///
+/// With queueing enabled ([`FleetStress::with_queueing`] /
+/// [`FleetSource::with_queueing`]), arrival `i` belongs to user
+/// `i % user_slots` and each user is a single FIFO server: an arrival that
+/// lands while its user is still serving an earlier arrival waits in the
+/// user's queue.  `time_dilation` scales each decision's simulated `time_s`
+/// into clock time (see [`ScenarioDriver::with_service_time`]); `1.0` models
+/// the SoCs serving in real time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueingConfig {
+    /// Simulated-seconds → clock-seconds scale of each decision's service.
+    pub time_dilation: f64,
+    /// Number of users the arrivals are round-robined onto (each user is one
+    /// FIFO server).
+    pub user_slots: usize,
+}
+
+impl QueueingConfig {
+    /// Creates a queueing configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_dilation` is not finite and positive or `user_slots`
+    /// is zero.
+    pub fn new(time_dilation: f64, user_slots: usize) -> Self {
+        assert!(
+            time_dilation.is_finite() && time_dilation > 0.0,
+            "time dilation must be finite and positive, got {time_dilation}"
+        );
+        assert!(user_slots > 0, "queueing needs at least one user slot");
+        Self { time_dilation, user_slots }
+    }
+}
+
+/// Pure reference of the per-user FIFO discipline: places job `i` (arriving at
+/// `arrivals[i]`, needing `service_ns[i]` of service, belonging to user
+/// `i % user_slots`) on the queueing timeline.
+///
+/// Service starts at the later of the job's arrival and its user's previous
+/// completion; completion is start plus service.  All integer nanoseconds, so
+/// the stamps are exactly what the concurrent queue model inside
+/// [`FleetSource`] produces for the same inputs — the property suite holds
+/// the two to this definition.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ, `user_slots` is zero, or `arrivals`
+/// is not non-decreasing (arrival schedules are monotone by construction).
+pub fn fifo_stamps(arrivals: &[u64], service_ns: &[u64], user_slots: usize) -> Vec<QueueStamp> {
+    assert_eq!(arrivals.len(), service_ns.len(), "one service duration per arrival");
+    assert!(user_slots > 0, "queueing needs at least one user slot");
+    assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be non-decreasing");
+    let mut user_free = vec![0u64; user_slots];
+    arrivals
+        .iter()
+        .zip(service_ns)
+        .enumerate()
+        .map(|(i, (&arrival_ns, &service))| {
+            let free = &mut user_free[i % user_slots];
+            let start_ns = arrival_ns.max(*free);
+            let completion_ns = start_ns.saturating_add(service);
+            *free = completion_ns;
+            QueueStamp { arrival_ns, start_ns, completion_ns, service_ns: service }
+        })
+        .collect()
+}
+
+/// The concurrent per-user FIFO bookkeeping behind a queue-aware
+/// [`FleetSource`].
+///
+/// Arrivals register their scheduled offset at claim time; when the driver
+/// reports a scenario served ([`ScenarioSource::scenario_served`]) the model
+/// stamps it — waiting, if necessary, until the same user's previous arrival
+/// has been stamped, so per-user chains are computed in FIFO order no matter
+/// which worker finishes simulating first.  Stamps are relative to the
+/// source's epoch and use only schedule offsets and service durations, never
+/// the shared clock's racy reading, so they are bit-deterministic at any
+/// worker count (the math is exactly [`fifo_stamps`]).
+struct QueueModel {
+    user_slots: usize,
+    state: Mutex<QueueModelState>,
+    stamped_cond: Condvar,
+}
+
+struct QueueModelState {
+    /// Scheduled arrival offset per index, registered at claim time.
+    arrivals: Vec<Option<u64>>,
+    /// Whether index `i` has been stamped (its completion computed).
+    stamped: Vec<bool>,
+    /// Completion of each user's most recently stamped job.
+    user_free_ns: Vec<u64>,
+}
+
+impl QueueModel {
+    fn new(user_slots: usize, jobs: usize) -> Self {
+        Self {
+            user_slots,
+            state: Mutex::new(QueueModelState {
+                arrivals: vec![None; jobs],
+                stamped: vec![false; jobs],
+                user_free_ns: vec![0; user_slots],
+            }),
+            stamped_cond: Condvar::new(),
+        }
+    }
+
+    fn register_arrival(&self, index: usize, arrival_ns: u64) {
+        self.state.lock().expect("queue model lock").arrivals[index] = Some(arrival_ns);
+    }
+
+    /// Stamps job `index` after `service_ns` of service.  Blocks until the
+    /// same user's previous job has been stamped; never deadlocks, because
+    /// the job with the lowest unstamped index in every user chain depends on
+    /// nothing and its worker always reaches this call.
+    fn stamp(&self, index: usize, service_ns: u64) -> QueueStamp {
+        let user = index % self.user_slots;
+        let mut state = self.state.lock().expect("queue model lock");
+        while index >= self.user_slots && !state.stamped[index - self.user_slots] {
+            state = self.stamped_cond.wait(state).expect("queue model wait");
+        }
+        let arrival_ns = state.arrivals[index].expect("scenario was claimed before being served");
+        let start_ns = arrival_ns.max(state.user_free_ns[user]);
+        let completion_ns = start_ns.saturating_add(service_ns);
+        state.user_free_ns[user] = completion_ns;
+        state.stamped[index] = true;
+        self.stamped_cond.notify_all();
+        QueueStamp { arrival_ns, start_ns, completion_ns, service_ns }
+    }
+}
+
 /// Streaming [`ScenarioSource`] over a [`ScenarioGenerator`]: scenario `i` is
 /// generated when (and only when) a worker claims it, after its scheduled
 /// arrival time has passed.
@@ -181,6 +323,7 @@ pub struct FleetSource {
     clock: Clock,
     next: AtomicUsize,
     started_ns: OnceLock<u64>,
+    queueing: Option<QueueModel>,
 }
 
 impl FleetSource {
@@ -193,7 +336,25 @@ impl FleetSource {
             clock: Clock::wall(),
             next: AtomicUsize::new(0),
             started_ns: OnceLock::new(),
+            queueing: None,
         }
+    }
+
+    /// Enables the per-user FIFO queue model: arrival `i` belongs to user
+    /// `i % user_slots`, and [`ScenarioSource::scenario_served`] returns
+    /// [`QueueStamp`]s on the source's timeline (nanoseconds relative to the
+    /// first claim).  Pair with [`ScenarioDriver::with_service_time`], which
+    /// is what makes the driver report service durations back — without it
+    /// the queue model sits idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user_slots` is zero.
+    #[must_use]
+    pub fn with_queueing(mut self, user_slots: usize) -> Self {
+        assert!(user_slots > 0, "queueing needs at least one user slot");
+        self.queueing = Some(QueueModel::new(user_slots, self.users));
+        self
     }
 
     /// Replaces the source's time source (default: a wall clock).  Share the
@@ -223,13 +384,39 @@ impl ScenarioSource for FleetSource {
             return None;
         }
         let started_ns = *self.started_ns.get_or_init(|| self.clock.now_ns());
-        let due = self.schedule.arrival_offset(index, self.users);
-        self.clock.wait_until_ns(started_ns.saturating_add(due.as_nanos() as u64));
-        Some((index, self.generator.scenario(index)))
+        let due_ns = self.schedule.arrival_offset(index, self.users).as_nanos() as u64;
+        // Generate before registering the arrival: once an index is
+        // registered, same-user successors will wait on its queue stamp, so
+        // nothing that can panic (the generator) may run between registration
+        // and the driver's panic-guarded serve loop.
+        let spec = self.generator.scenario(index);
+        if let Some(queue) = &self.queueing {
+            // The stamp uses the schedule-relative offset, not the clock
+            // reading: queueing telemetry must stay a pure function of the
+            // schedule and the service times, at any worker count.
+            queue.register_arrival(index, due_ns);
+        }
+        self.clock.wait_until_ns(started_ns.saturating_add(due_ns));
+        Some((index, spec))
+    }
+
+    fn scenario_served(&self, index: usize, service_ns: u64) -> Option<QueueStamp> {
+        let queue = self.queueing.as_ref()?;
+        let stamp = queue.stamp(index, service_ns);
+        // Pull the shared clock forward to the completion instant (an
+        // absolute, deterministic target), so the run's virtual span covers
+        // the service tail after the last arrival.
+        let started_ns = self.started_ns.get().copied().unwrap_or(0);
+        self.clock.wait_until_ns(started_ns.saturating_add(stamp.completion_ns));
+        Some(stamp)
     }
 }
 
 /// Per-family slice of a fleet run.
+///
+/// The queueing fields (`service_s`, `busy_fraction`, `mean_sojourn_s`,
+/// `p95_sojourn_s`) are zero unless the fleet ran with
+/// [`FleetStress::with_queueing`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FamilyTelemetry {
     /// Family name.
@@ -242,8 +429,119 @@ pub struct FamilyTelemetry {
     pub energy_j: f64,
     /// Simulated time, seconds.
     pub time_s: f64,
+    /// Clock time the family's scenarios spent in service (dilation applied),
+    /// seconds.
+    pub service_s: f64,
+    /// Fraction of the fleet's server capacity this family kept busy:
+    /// `service_s / (user_slots × span)`.  Summed over all families this is
+    /// the fleet utilisation.
+    pub busy_fraction: f64,
+    /// Mean time in system (queueing wait + service) of the family's
+    /// arrivals, seconds.
+    pub mean_sojourn_s: f64,
+    /// 95th-percentile sojourn of the family's arrivals, seconds.
+    pub p95_sojourn_s: f64,
     /// Fraction of decisions matching the Oracle reference, when scored.
     pub oracle_agreement: Option<f64>,
+}
+
+/// Fleet-level queueing telemetry, aggregated from the per-scenario
+/// [`QueueStamp`]s in scenario-index order — so every field is
+/// bit-deterministic at any worker count under a virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueReport {
+    /// User slots the arrivals were round-robined onto.
+    pub user_slots: usize,
+    /// Arrivals placed on the queueing timeline.
+    pub arrivals: usize,
+    /// Span of the queueing timeline: first arrival to last completion,
+    /// seconds.
+    pub span_s: f64,
+    /// Total service time across all arrivals, seconds.
+    pub total_service_s: f64,
+    /// Fleet utilisation: `total_service_s / (user_slots × span_s)` — the
+    /// busy fraction of the fleet's server capacity.
+    pub utilisation: f64,
+    /// Arrival rate over the span, arrivals per second.
+    pub arrival_rate_per_s: f64,
+    /// Mean time in system (queueing wait + service), seconds.
+    pub mean_sojourn_s: f64,
+    /// Median sojourn, seconds.
+    pub p50_sojourn_s: f64,
+    /// 95th-percentile sojourn, seconds.
+    pub p95_sojourn_s: f64,
+    /// 99th-percentile sojourn, seconds.
+    pub p99_sojourn_s: f64,
+    /// Mean head-of-line queueing delay (arrival to service start), seconds.
+    pub mean_queue_delay_s: f64,
+    /// Time-average number of arrivals in the system (Little's `L`).
+    pub mean_backlog: f64,
+    /// Deepest any single user's queue got (arrivals of one user
+    /// simultaneously in the system, the one in service included).
+    pub max_queue_depth: usize,
+}
+
+/// Exact order statistic over pre-sorted nanosecond durations: the value at
+/// quantile `q ∈ [0, 1]`, by the ceiling-rank rule (the same convention the
+/// [`QueueReport`] percentiles use — reuse this instead of re-deriving it).
+pub fn sorted_quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+impl QueueReport {
+    /// Aggregates the stamps of a recorded fleet run (records in scenario
+    /// index order).  Returns `None` if no record carries a stamp.
+    pub fn from_records(records: &[ScenarioRecord], user_slots: usize) -> Option<Self> {
+        let stamps: Vec<(usize, QueueStamp)> =
+            records.iter().filter_map(|r| r.queue.map(|q| (r.index, q))).collect();
+        if stamps.is_empty() {
+            return None;
+        }
+        let first_arrival = stamps.iter().map(|(_, s)| s.arrival_ns).min().unwrap_or(0);
+        let last_completion = stamps.iter().map(|(_, s)| s.completion_ns).max().unwrap_or(0);
+        let span_ns = last_completion.saturating_sub(first_arrival).max(1);
+        let total_service_ns: u64 = stamps.iter().map(|(_, s)| s.service_ns).sum();
+        let mut sojourns: Vec<u64> = stamps.iter().map(|(_, s)| s.sojourn_ns()).collect();
+        let sojourn_sum: u64 = sojourns.iter().sum();
+        let delay_sum: u64 = stamps.iter().map(|(_, s)| s.delay_ns()).sum();
+        sojourns.sort_unstable();
+
+        // Deepest per-user backlog: how many of a user's earlier arrivals
+        // were still in the system (completion strictly after the arrival
+        // instant) when each arrival landed, the arriving one included.
+        // FIFO completions are non-decreasing per user, so the still-present
+        // jobs form a suffix of the chain and a binary search finds it.
+        let mut per_user: Vec<Vec<u64>> = vec![Vec::new(); user_slots];
+        let mut max_queue_depth = 0usize;
+        for &(index, stamp) in &stamps {
+            let chain = &mut per_user[index % user_slots];
+            let departed = chain.partition_point(|&completion| completion <= stamp.arrival_ns);
+            max_queue_depth = max_queue_depth.max(1 + chain.len() - departed);
+            chain.push(stamp.completion_ns);
+        }
+
+        let n = stamps.len() as f64;
+        let span_s = span_ns as f64 / 1e9;
+        Some(Self {
+            user_slots,
+            arrivals: stamps.len(),
+            span_s,
+            total_service_s: total_service_ns as f64 / 1e9,
+            utilisation: total_service_ns as f64 / (user_slots as f64 * span_ns as f64),
+            arrival_rate_per_s: n / span_s,
+            mean_sojourn_s: sojourn_sum as f64 / n / 1e9,
+            p50_sojourn_s: sorted_quantile_ns(&sojourns, 0.50) as f64 / 1e9,
+            p95_sojourn_s: sorted_quantile_ns(&sojourns, 0.95) as f64 / 1e9,
+            p99_sojourn_s: sorted_quantile_ns(&sojourns, 0.99) as f64 / 1e9,
+            mean_queue_delay_s: delay_sum as f64 / n / 1e9,
+            mean_backlog: sojourn_sum as f64 / span_ns as f64,
+            max_queue_depth,
+        })
+    }
 }
 
 /// Aggregated outcome of one fleet run.
@@ -255,6 +553,9 @@ pub struct FleetReport {
     pub telemetry: DriverTelemetry,
     /// Per-family breakdown, in generator family order.
     pub families: Vec<FamilyTelemetry>,
+    /// Fleet-level queueing telemetry; `None` unless the fleet ran with
+    /// [`FleetStress::with_queueing`].
+    pub queueing: Option<QueueReport>,
     /// The raw per-scenario recordings (trace-layer input).
     pub records: Vec<ScenarioRecord>,
 }
@@ -296,6 +597,7 @@ pub struct FleetStress {
     schedule: ArrivalSchedule,
     clock: Clock,
     oracle_reference: Option<OracleObjective>,
+    queueing: Option<QueueingConfig>,
 }
 
 impl FleetStress {
@@ -320,6 +622,7 @@ impl FleetStress {
             schedule: ArrivalSchedule::Immediate,
             clock: Clock::wall(),
             oracle_reference: None,
+            queueing: None,
         }
     }
 
@@ -353,6 +656,29 @@ impl FleetStress {
         self
     }
 
+    /// Enables **service-time queueing**: the driver spends each decision's
+    /// simulated `time_s` (scaled by `config.time_dilation`) on the fleet's
+    /// clock, and arrivals are round-robined onto `config.user_slots` FIFO
+    /// users — an arrival that lands while its user is still serving an
+    /// earlier one waits, producing real queueing-delay, backlog and
+    /// utilisation telemetry ([`FleetReport::queueing`], plus the queueing
+    /// fields of [`FamilyTelemetry`] and the driver's sojourn histograms).
+    ///
+    /// Under a virtual clock the whole queueing timeline is simulated in
+    /// milliseconds and — because stamps are computed from schedule offsets
+    /// and service durations only, in per-user FIFO order — the per-family
+    /// telemetry, the queue report and the recorded stamps are bit-identical
+    /// at **any** worker count.  (The driver-level `wall_seconds` reads the
+    /// shared clock, whose concurrent per-decision advances interleave, so it
+    /// stays bit-stable only with one worker.)  Under a wall clock,
+    /// completions pace real time: the run sleeps until each scenario's
+    /// virtual completion instant.
+    #[must_use]
+    pub fn with_queueing(mut self, config: QueueingConfig) -> Self {
+        self.queueing = Some(config);
+        self
+    }
+
     /// The generator users are drawn from.
     pub fn generator(&self) -> &ScenarioGenerator {
         &self.generator
@@ -370,9 +696,18 @@ impl FleetStress {
         if let Some(objective) = self.oracle_reference {
             driver = driver.with_oracle_reference(objective);
         }
-        let source = FleetSource::new(Arc::clone(&self.generator), self.users, self.schedule)
+        if let Some(queueing) = self.queueing {
+            driver = driver.with_service_time(queueing.time_dilation);
+        }
+        let mut source = FleetSource::new(Arc::clone(&self.generator), self.users, self.schedule)
             .with_clock(self.clock.clone());
+        if let Some(queueing) = self.queueing {
+            source = source.with_queueing(queueing.user_slots);
+        }
         let (telemetry, records) = driver.run_recorded(&source, &make_policy);
+        let queueing = self
+            .queueing
+            .and_then(|config| QueueReport::from_records(&records, config.user_slots));
 
         let mut families: Vec<FamilyTelemetry> = self
             .generator
@@ -384,11 +719,16 @@ impl FleetStress {
                 decisions: 0,
                 energy_j: 0.0,
                 time_s: 0.0,
+                service_s: 0.0,
+                busy_fraction: 0.0,
+                mean_sojourn_s: 0.0,
+                p95_sojourn_s: 0.0,
                 oracle_agreement: None,
             })
             .collect();
         let mut matches = vec![0usize; families.len()];
         let mut scored = vec![false; families.len()];
+        let mut family_sojourns: Vec<Vec<u64>> = vec![Vec::new(); families.len()];
         for record in &records {
             let slot = self.generator.family_index_of(record.index);
             let family = &mut families[slot];
@@ -396,6 +736,10 @@ impl FleetStress {
             family.decisions += record.decisions.len();
             family.energy_j += record.decisions.iter().map(|d| d.energy_j).sum::<f64>();
             family.time_s += record.decisions.iter().map(|d| d.time_s).sum::<f64>();
+            if let Some(stamp) = &record.queue {
+                family.service_s += stamp.service_ns as f64 / 1e9;
+                family_sojourns[slot].push(stamp.sojourn_ns());
+            }
             if let Some(m) = record.oracle_matches {
                 matches[slot] += m;
                 scored[slot] = true;
@@ -406,8 +750,20 @@ impl FleetStress {
                 family.oracle_agreement = Some(matched as f64 / family.decisions as f64);
             }
         }
+        if let Some(report) = &queueing {
+            for (family, sojourns) in families.iter_mut().zip(&mut family_sojourns) {
+                family.busy_fraction =
+                    family.service_s / (report.user_slots as f64 * report.span_s);
+                if !sojourns.is_empty() {
+                    family.mean_sojourn_s =
+                        sojourns.iter().sum::<u64>() as f64 / sojourns.len() as f64 / 1e9;
+                    sojourns.sort_unstable();
+                    family.p95_sojourn_s = sorted_quantile_ns(sojourns, 0.95) as f64 / 1e9;
+                }
+            }
+        }
         let policy = records.first().map(|r| r.policy.clone()).unwrap_or_default();
-        FleetReport { policy, telemetry, families, records }
+        FleetReport { policy, telemetry, families, queueing, records }
     }
 
     /// Runs the policy fleet plus *ondemand* and *interactive* governor fleets
@@ -589,6 +945,98 @@ mod tests {
         assert_eq!(a.telemetry.latency, b.telemetry.latency, "virtual latencies are deterministic");
         assert_eq!(a.records, b.records);
         assert_eq!(a.families, b.families);
+    }
+
+    #[test]
+    fn fifo_stamps_respect_the_queue_discipline() {
+        // Two users (slots), interleaved arrivals: user 0 gets jobs 0 and 2,
+        // user 1 gets jobs 1 and 3.  Job 2 arrives while user 0 still serves
+        // job 0, so it queues; job 3 arrives after user 1 went idle.
+        let arrivals = [0, 5, 10, 100];
+        let services = [50, 20, 30, 40];
+        let stamps = fifo_stamps(&arrivals, &services, 2);
+        assert_eq!(stamps[0].start_ns, 0);
+        assert_eq!(stamps[0].completion_ns, 50);
+        assert_eq!(stamps[1].start_ns, 5);
+        assert_eq!(stamps[1].completion_ns, 25);
+        // Job 2 (user 0) waited for job 0: start at 50, not 10.
+        assert_eq!(stamps[2].start_ns, 50);
+        assert_eq!(stamps[2].delay_ns(), 40);
+        assert_eq!(stamps[2].sojourn_ns(), 70);
+        // Job 3 (user 1) found its user idle: no delay.
+        assert_eq!(stamps[3].start_ns, 100);
+        assert_eq!(stamps[3].delay_ns(), 0);
+        // One slot: everything is one FIFO chain.
+        let single = fifo_stamps(&arrivals, &services, 1);
+        assert_eq!(single[3].start_ns, 100); // 0+50+20+30 = 100 exactly
+        assert_eq!(single[2].start_ns, 70);
+    }
+
+    #[test]
+    fn queueing_fleet_reports_are_bit_identical_at_any_worker_count() {
+        let run = |workers| {
+            FleetStress::new(SocPlatform::small(), generator(), 12, workers)
+                .with_schedule(ArrivalSchedule::Constant { interval: Duration::from_millis(40) })
+                .with_clock(Clock::virtual_clock())
+                .with_queueing(QueueingConfig::new(1.0, 3))
+                .run(|_, _| Box::new(OndemandGovernor::new(&SocPlatform::small())))
+        };
+        let reference = run(1);
+        let queueing = reference.queueing.as_ref().expect("queueing was enabled");
+        assert!(queueing.utilisation > 0.0);
+        assert_eq!(queueing.arrivals, 12);
+        for workers in [2, 4] {
+            let report = run(workers);
+            assert_eq!(report.families, reference.families, "{workers} workers");
+            assert_eq!(report.queueing, reference.queueing, "{workers} workers");
+            assert_eq!(report.records, reference.records, "{workers} workers");
+            assert_eq!(report.telemetry.sojourn, reference.telemetry.sojourn);
+            assert_eq!(report.telemetry.queue_delay, reference.telemetry.queue_delay);
+        }
+    }
+
+    #[test]
+    fn queueing_stamps_obey_the_pure_fifo_reference() {
+        let users = 10;
+        let slots = 2;
+        let schedule = ArrivalSchedule::Constant { interval: Duration::from_millis(25) };
+        let report = FleetStress::new(SocPlatform::small(), generator(), users, 4)
+            .with_schedule(schedule)
+            .with_clock(Clock::virtual_clock())
+            .with_queueing(QueueingConfig::new(2.0, slots))
+            .run(|_, _| Box::new(OndemandGovernor::new(&SocPlatform::small())));
+        let stamps: Vec<_> = report
+            .records
+            .iter()
+            .map(|r| r.queue.expect("queueing stamps every record"))
+            .collect();
+        let arrivals: Vec<u64> = (0..users)
+            .map(|i| schedule.arrival_offset(i, users).as_nanos() as u64)
+            .collect();
+        let services: Vec<u64> = stamps.iter().map(|s| s.service_ns).collect();
+        assert_eq!(stamps, fifo_stamps(&arrivals, &services, slots));
+        // Dilation 2.0: service is twice the simulated time, to rounding.
+        let simulated: f64 =
+            report.records.iter().flat_map(|r| r.decisions.iter().map(|d| d.time_s)).sum();
+        let service: f64 = services.iter().sum::<u64>() as f64 / 1e9;
+        assert!((service - 2.0 * simulated).abs() < 1e-6 * service.max(1.0));
+    }
+
+    #[test]
+    fn panicking_policy_fails_fast_instead_of_hanging_the_queue() {
+        // A worker panic mid-scenario must still stamp the claimed arrival
+        // (unblocking FIFO successors of the same user) and then propagate —
+        // this test hanging, rather than failing, is the regression.
+        let result = std::panic::catch_unwind(|| {
+            FleetStress::new(SocPlatform::small(), generator(), 8, 2)
+                .with_clock(Clock::virtual_clock())
+                .with_queueing(QueueingConfig::new(1.0, 2))
+                .run(|index, _| {
+                    assert!(index != 1, "policy exploded");
+                    Box::new(OndemandGovernor::new(&SocPlatform::small()))
+                })
+        });
+        assert!(result.is_err(), "the worker panic must propagate to the caller");
     }
 
     #[test]

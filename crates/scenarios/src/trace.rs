@@ -6,11 +6,18 @@
 //! produced.  The format is line-oriented JSON (JSONL):
 //!
 //! ```text
-//! {"format":"soclearn-trace","version":1,"scenarios":2}
-//! {"scenario":{"index":0,"name":"user-0","policy":"ondemand","oracle_matches":null,"decisions":3}}
+//! {"format":"soclearn-trace","version":2,"scenarios":2}
+//! {"scenario":{"index":0,"name":"user-0","policy":"ondemand","oracle_matches":null,"queue":{"arrival":0,"start":0,"completion":120000,"service":120000},"decisions":3}}
 //! {"i":0,"profile":{...},"little":0,"big":3,"big_temp":4631166901565532406,...}
 //! ...
 //! ```
+//!
+//! Version 2 added the scenario-level `queue` member: the enqueue (arrival),
+//! dequeue (service start), completion and service-duration timestamps of the
+//! fleet harness's per-user FIFO queueing model, in integer nanoseconds on
+//! the fleet's virtual timeline (`null` for runs without queueing).  The
+//! parser still reads version-1 traces — they simply carry no queue stamps —
+//! so recordings committed before the bump replay unchanged.
 //!
 //! Every `f64` is stored as its IEEE-754 **bit pattern** (a `u64`), so a
 //! parsed trace is bit-identical to the recorded one — no decimal round-trip
@@ -25,14 +32,17 @@
 
 use std::fmt;
 
-use soclearn_runtime::{DecisionRecord, ScenarioRecord};
+use soclearn_runtime::{DecisionRecord, QueueStamp, ScenarioRecord};
 use soclearn_soc_sim::{DvfsConfig, SnippetCounters, SocPlatform, SocSimulator};
 use soclearn_workloads::{SnippetPhase, SnippetProfile};
 
 use crate::json::{parse, JsonError, JsonValue};
 
 /// Version of the trace format this module writes.
-pub const TRACE_VERSION: u32 = 1;
+pub const TRACE_VERSION: u32 = 2;
+
+/// Oldest trace version the parser still reads (v1 lacks queue stamps).
+pub const OLDEST_READABLE_TRACE_VERSION: u32 = 1;
 
 /// One decision of a recorded scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +76,9 @@ pub struct ScenarioTrace {
     pub policy: String,
     /// Oracle-agreement matches, when the driver ran with a reference.
     pub oracle_matches: Option<usize>,
+    /// Queueing timestamps on the fleet's virtual timeline, when the run used
+    /// service-time queueing (format v2; v1 traces never carry them).
+    pub queue: Option<QueueStamp>,
     /// The decisions in execution order.
     pub decisions: Vec<TraceDecision>,
 }
@@ -190,6 +203,7 @@ impl From<&ScenarioRecord> for ScenarioTrace {
             name: record.name.clone(),
             policy: record.policy.clone(),
             oracle_matches: record.oracle_matches,
+            queue: record.queue,
             decisions: record.decisions.iter().map(TraceDecision::from).collect(),
         }
     }
@@ -212,12 +226,19 @@ impl Trace {
         ));
         for scenario in &self.scenarios {
             let matches = scenario.oracle_matches.map_or("null".to_owned(), |m| m.to_string());
+            let queue = scenario.queue.map_or("null".to_owned(), |q| {
+                format!(
+                    "{{\"arrival\":{},\"start\":{},\"completion\":{},\"service\":{}}}",
+                    q.arrival_ns, q.start_ns, q.completion_ns, q.service_ns
+                )
+            });
             out.push_str(&format!(
-                "{{\"scenario\":{{\"index\":{},\"name\":{},\"policy\":{},\"oracle_matches\":{},\"decisions\":{}}}}}\n",
+                "{{\"scenario\":{{\"index\":{},\"name\":{},\"policy\":{},\"oracle_matches\":{},\"queue\":{},\"decisions\":{}}}}}\n",
                 scenario.index,
                 serde_json::to_string(&scenario.name).expect("string encodes"),
                 serde_json::to_string(&scenario.policy).expect("string encodes"),
                 matches,
+                queue,
                 scenario.decisions.len()
             ));
             for d in &scenario.decisions {
@@ -266,7 +287,8 @@ impl Trace {
         if header.get("format").and_then(JsonValue::as_str) != Some("soclearn-trace") {
             return Err(format_err(line_no, "not a soclearn trace"));
         }
-        if version != u64::from(TRACE_VERSION) {
+        if version < u64::from(OLDEST_READABLE_TRACE_VERSION) || version > u64::from(TRACE_VERSION)
+        {
             return Err(format_err(line_no, &format!("unsupported trace version {version}")));
         }
         let scenario_count = header
@@ -310,6 +332,16 @@ impl Trace {
                             .ok_or_else(|| format_err(line_no, "bad oracle_matches"))?,
                     ),
                 },
+                // v1 scenario headers have no queue member; v2 may carry null.
+                queue: match header.get("queue") {
+                    Some(JsonValue::Null) | None => None,
+                    Some(value) => Some(QueueStamp {
+                        arrival_ns: field_u64(value, "arrival", line_no)?,
+                        start_ns: field_u64(value, "start", line_no)?,
+                        completion_ns: field_u64(value, "completion", line_no)?,
+                        service_ns: field_u64(value, "service", line_no)?,
+                    }),
+                },
                 decisions: Vec::with_capacity(decisions_count),
             };
             for _ in 0..decisions_count {
@@ -334,7 +366,7 @@ fn format_err(line: usize, message: &str) -> TraceError {
     TraceError::Format { line, message: message.to_owned() }
 }
 
-fn parse_line(line: usize, raw: &str) -> Result<JsonValue, TraceError> {
+fn parse_line(line: usize, raw: &str) -> Result<JsonValue<'_>, TraceError> {
     parse(raw).map_err(|error| TraceError::Json { line, error })
 }
 
@@ -612,6 +644,49 @@ mod tests {
         let self_diff = TraceDiff::between(&a, &a);
         assert_eq!(self_diff.config_mismatches, 0);
         assert_eq!(self_diff.energy_ratio(), 1.0);
+    }
+
+    #[test]
+    fn queue_stamps_round_trip_through_v2() {
+        let (_, mut trace) = recorded_trace();
+        trace.scenarios[0].queue = Some(soclearn_runtime::QueueStamp {
+            arrival_ns: 1_000,
+            start_ns: 2_500,
+            completion_ns: 9_000,
+            service_ns: 6_500,
+        });
+        // scenario[1] stays queue-less: Some and None must coexist in one file.
+        let encoded = trace.to_jsonl();
+        assert!(encoded.starts_with("{\"format\":\"soclearn-trace\",\"version\":2"));
+        assert!(encoded.contains(
+            "\"queue\":{\"arrival\":1000,\"start\":2500,\"completion\":9000,\"service\":6500}"
+        ));
+        assert!(encoded.contains("\"queue\":null"));
+        let decoded = Trace::from_jsonl(&encoded).expect("v2 round trip parses");
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.to_jsonl(), encoded);
+    }
+
+    #[test]
+    fn reads_version_1_traces_without_queue_stamps() {
+        // A v1 trace is a v2 trace minus the queue member; synthesise one by
+        // downgrading the header and stripping the queue fields.
+        let (platform, trace) = recorded_trace();
+        let v1: String = trace
+            .to_jsonl()
+            .lines()
+            .map(|line| {
+                let line = line.replace("\"version\":2", "\"version\":1");
+                let line = line.replace(",\"queue\":null", "");
+                format!("{line}\n")
+            })
+            .collect();
+        let decoded = Trace::from_jsonl(&v1).expect("v1 traces still parse");
+        assert_eq!(decoded, trace, "queue-less v1 content decodes to the same trace");
+        for scenario in &decoded.scenarios {
+            assert!(scenario.queue.is_none());
+            assert!(replay(scenario, &platform).bit_identical);
+        }
     }
 
     #[test]

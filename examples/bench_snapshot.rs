@@ -25,11 +25,15 @@ use soclearn_runtime::{scaled_suite, sequence_of};
 use soclearn_scenarios::Trace;
 use std::time::Duration;
 
-/// Schema version of the snapshot format.
-const SCHEMA: u32 = 1;
+/// Schema version of the snapshot format (2: added the `queueing` section).
+const SCHEMA: u32 = 2;
 /// Timed repetitions per measurement; the best (max throughput / min time)
 /// is reported.
 const REPS: usize = 3;
+/// Saturation factor of the queueing measurement: arrivals land this many
+/// times faster than the single server drains (drives the interval, the log
+/// line and the snapshot's `offered_load` field).
+const OFFERED_LOAD: f64 = 8.0;
 
 fn serving_users(users: usize) -> Vec<ScenarioSpec> {
     (0..users)
@@ -148,6 +152,39 @@ fn main() {
         report.telemetry.wall_seconds / fleet_wall_seconds.max(1e-9)
     );
 
+    // Service-time queueing: a saturated single-user constant-rate fleet on
+    // the virtual clock.  The mean per-scenario service time is probed from
+    // an immediate-admission run, then arrivals land OFFERED_LOAD times
+    // faster than the server drains — utilisation must pin near 1 and a
+    // backlog must build, which the CI gate asserts alongside the perf
+    // numbers.
+    let queue_users = 24;
+    let probe =
+        FleetStress::new(small.clone(), ScenarioGenerator::standard(2020, 6), queue_users, 4)
+            .with_clock(Clock::virtual_clock())
+            .with_queueing(QueueingConfig::new(1.0, 1))
+            .run(|_, _| Box::new(OndemandGovernor::new(&small)));
+    let probe_queue = probe.queueing.expect("queueing was enabled");
+    let mean_service_s = probe_queue.total_service_s / probe_queue.arrivals as f64;
+    let saturated =
+        FleetStress::new(small.clone(), ScenarioGenerator::standard(2020, 6), queue_users, 4)
+            .with_schedule(ArrivalSchedule::Constant {
+                interval: Duration::from_secs_f64(mean_service_s / OFFERED_LOAD),
+            })
+            .with_clock(Clock::virtual_clock())
+            .with_queueing(QueueingConfig::new(1.0, 1))
+            .run(|_, _| Box::new(OndemandGovernor::new(&small)));
+    let queueing = saturated.queueing.expect("queueing was enabled");
+    println!(
+        "queueing: {} arrivals at {OFFERED_LOAD}x the drain rate — utilisation {:.3}, \
+         mean delay {:.1} ms, p95 sojourn {:.1} ms, max queue depth {}",
+        queueing.arrivals,
+        queueing.utilisation,
+        queueing.mean_queue_delay_s * 1e3,
+        queueing.p95_sojourn_s * 1e3,
+        queueing.max_queue_depth,
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": {SCHEMA},");
@@ -181,6 +218,16 @@ fn main() {
     let _ = writeln!(json, "    \"simulated_hours\": {simulated_hours:.2},");
     let _ = writeln!(json, "    \"decisions\": {},", report.telemetry.decisions);
     let _ = writeln!(json, "    \"wall_ms\": {:.2}", fleet_wall_seconds * 1e3);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"queueing\": {{");
+    let _ = writeln!(json, "    \"arrivals\": {},", queueing.arrivals);
+    let _ = writeln!(json, "    \"user_slots\": {},", queueing.user_slots);
+    let _ = writeln!(json, "    \"offered_load\": {OFFERED_LOAD:.1},");
+    let _ = writeln!(json, "    \"utilisation\": {:.4},", queueing.utilisation);
+    let _ =
+        writeln!(json, "    \"mean_queue_delay_ms\": {:.2},", queueing.mean_queue_delay_s * 1e3);
+    let _ = writeln!(json, "    \"p95_sojourn_ms\": {:.2},", queueing.p95_sojourn_s * 1e3);
+    let _ = writeln!(json, "    \"max_queue_depth\": {}", queueing.max_queue_depth);
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     if let Some(parent) = std::path::Path::new(&out_path).parent() {

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! cargo run --release --example fleet_stress
-//! cargo run --release --example fleet_stress -- --virtual-clock --trace-out fleet.jsonl
+//! cargo run --release --example fleet_stress -- --virtual-clock --queueing --trace-out fleet.jsonl
 //! ```
 //!
 //! `--virtual-clock` swaps the default bursty millisecond schedule for a 24 h
@@ -19,6 +19,13 @@
 //! simulated day-plus of arrivals drains in milliseconds and the recorded
 //! trace is a deterministic function of the seed — CI runs this twice and
 //! byte-compares the `--trace-out` files.
+//!
+//! `--queueing` additionally spends each decision's simulated time on the
+//! clock (time-dilated) and round-robins arrivals onto per-user FIFO servers,
+//! so the run reports real queueing telemetry — per-family busy fractions and
+//! sojourn percentiles, fleet utilisation, backlog depth — and a second
+//! Markov calm/storm fleet breaks sojourns down by traffic regime.  With
+//! `--trace-out` the trace then carries the v2 queue stamps.
 
 use std::time::{Duration, Instant};
 
@@ -26,17 +33,28 @@ use soclearn_core::prelude::*;
 use soclearn_core::report::render_table;
 use soclearn_scenarios::Trace;
 
+/// Dilation of the queueing demo: one simulated second of service occupies
+/// one virtual hour, so diurnal peak-phase arrivals (30 min apart) queue
+/// behind multi-hour scenarios while off-peak arrivals find idle users.
+const QUEUE_DILATION: f64 = 3_600.0;
+/// Users the queueing arrivals are round-robined onto.
+const QUEUE_SLOTS: usize = 2;
+
 fn main() {
     let mut virtual_clock = false;
+    let mut queueing = false;
     let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--virtual-clock" => virtual_clock = true,
+            "--queueing" => queueing = true,
             "--trace-out" => {
                 trace_out = Some(args.next().expect("--trace-out needs a file path"));
             }
-            other => panic!("unknown argument {other:?} (try --virtual-clock, --trace-out PATH)"),
+            other => panic!(
+                "unknown argument {other:?} (try --virtual-clock, --queueing, --trace-out PATH)"
+            ),
         }
     }
 
@@ -69,6 +87,17 @@ fn main() {
         .with_oracle_reference(OracleObjective::Energy);
     if virtual_clock {
         fleet = fleet.with_clock(Clock::virtual_clock());
+    }
+    if queueing {
+        // With each simulated second dilated to a virtual hour, a wall clock
+        // would really sleep until every completion instant — hours of real
+        // time.  Queueing in this example is a virtual-clock demo.
+        assert!(
+            virtual_clock,
+            "--queueing needs --virtual-clock: dilation {QUEUE_DILATION}x would sleep for \
+             real hours on the wall clock"
+        );
+        fleet = fleet.with_queueing(QueueingConfig::new(QUEUE_DILATION, QUEUE_SLOTS));
     }
     let wall = Instant::now();
     let (il, [ondemand, interactive], [vs_ondemand, vs_interactive]) =
@@ -144,6 +173,10 @@ fn main() {
         interactive.telemetry.total_energy_j,
     );
 
+    if queueing {
+        print_queueing_tables(&il, &platform, workers);
+    }
+
     // Trace record → JSONL → parse → replay: the whole fleet, bit for bit.
     let trace = Trace::from_records(&il.records);
     let jsonl = trace.to_jsonl();
@@ -185,5 +218,111 @@ fn main() {
     println!(
         "\nOnline-IL used less energy than BOTH governors on {il_wins}/{} generated families.",
         il.families.len()
+    );
+}
+
+/// The quantile of a pre-sorted sojourn list (the `QueueReport` ceiling-rank
+/// rule), in virtual minutes.
+fn sojourn_quantile_min(sorted_ns: &[u64], q: f64) -> f64 {
+    soclearn_scenarios::sorted_quantile_ns(sorted_ns, q) as f64 / 1e9 / 60.0
+}
+
+/// The queueing tables of a `--queueing` run: the main fleet's per-family
+/// busy/sojourn breakdown, then a Markov calm/storm fleet whose sojourn
+/// percentiles split by the traffic regime each arrival landed in.
+fn print_queueing_tables(il: &FleetReport, platform: &SocPlatform, workers: usize) {
+    let queue = il.queueing.as_ref().expect("--queueing enables the queue model");
+    let rows: Vec<Vec<String>> = il
+        .families
+        .iter()
+        .map(|family| {
+            vec![
+                family.family.clone(),
+                format!("{:.1} min", family.service_s / 60.0),
+                format!("{:.1}%", family.busy_fraction * 100.0),
+                format!("{:.1} min", family.mean_sojourn_s / 60.0),
+                format!("{:.1} min", family.p95_sojourn_s / 60.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Service-time queueing per family (virtual minutes)",
+            &["Family", "Service", "Busy fraction", "Mean sojourn", "p95 sojourn"],
+            &rows
+        )
+    );
+    println!(
+        "Queueing: {} arrivals on {} users — utilisation {:.1}%, mean delay {:.1} min, \
+         mean backlog {:.2}, max queue depth {}\n",
+        queue.arrivals,
+        queue.user_slots,
+        queue.utilisation * 100.0,
+        queue.mean_queue_delay_s / 60.0,
+        queue.mean_backlog,
+        queue.max_queue_depth,
+    );
+
+    // Markov calm/storm fleet: the same queueing model under two-regime
+    // traffic; sojourns split by the regime each arrival landed in.
+    let markov_users = 48;
+    let schedule = ArrivalSchedule::Markov {
+        calm: Duration::from_secs(2 * 3_600),
+        storm: Duration::from_secs(60),
+        persistence: 0.9,
+        seed: 7,
+    };
+    let report = FleetStress::new(
+        platform.clone(),
+        ScenarioGenerator::standard(2021, 10),
+        markov_users,
+        workers,
+    )
+    .with_schedule(schedule)
+    .with_clock(Clock::virtual_clock())
+    .with_queueing(QueueingConfig::new(QUEUE_DILATION, 2))
+    .run(|_, _| Box::new(OndemandGovernor::new(platform)));
+    let (mut calm_ns, mut storm_ns): (Vec<u64>, Vec<u64>) = (Vec::new(), Vec::new());
+    for record in &report.records {
+        let stamp = record.queue.expect("queueing stamps every record");
+        // Classify by the inter-arrival gap that admitted this user: storm
+        // arrivals follow their predecessor within the storm spacing.
+        let gap_s = if record.index == 0 {
+            f64::INFINITY
+        } else {
+            (schedule.arrival_offset(record.index, markov_users)
+                - schedule.arrival_offset(record.index - 1, markov_users))
+            .as_secs_f64()
+        };
+        if gap_s <= 60.0 { &mut storm_ns } else { &mut calm_ns }.push(stamp.sojourn_ns());
+    }
+    let markov_queue = report.queueing.as_ref().expect("queueing was enabled");
+    let regime_rows: Vec<Vec<String>> = [("calm", &mut calm_ns), ("storm", &mut storm_ns)]
+        .into_iter()
+        .filter(|(_, sojourns)| !sojourns.is_empty())
+        .map(|(regime, sojourns)| {
+            sojourns.sort_unstable();
+            vec![
+                regime.to_owned(),
+                format!("{}", sojourns.len()),
+                format!("{:.1} min", sojourn_quantile_min(sojourns, 0.50)),
+                format!("{:.1} min", sojourn_quantile_min(sojourns, 0.95)),
+                format!("{:.1} min", sojourn_quantile_min(sojourns, 0.99)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Markov calm-vs-storm sojourn percentiles (ondemand fleet, virtual minutes)",
+            &["Regime", "Arrivals", "p50", "p95", "p99"],
+            &regime_rows
+        )
+    );
+    println!(
+        "Markov fleet: utilisation {:.1}%, max queue depth {} — storms queue, calm drains.\n",
+        markov_queue.utilisation * 100.0,
+        markov_queue.max_queue_depth,
     );
 }

@@ -10,6 +10,30 @@ use soclearn_power_thermal::RcThermalModel;
 use soclearn_soc_sim::ClusterKind;
 use soclearn_workloads::SnippetPhase;
 
+/// One clock operation of the concurrent-interleaving property: spend time
+/// serving (`advance_ns`) or jump to an absolute deadline (`wait_until_ns`).
+#[derive(Debug, Clone, Copy)]
+enum ClockOp {
+    Advance(u64),
+    WaitUntil(u64),
+}
+
+fn clock_ops_strategy() -> impl Strategy<Value = Vec<ClockOp>> {
+    proptest::collection::vec((0u8..2, 0u64..5_000_000_000), 1..48).prop_map(|raw| {
+        raw.into_iter()
+            .map(
+                |(advance, amount)| {
+                    if advance == 1 {
+                        ClockOp::Advance(amount)
+                    } else {
+                        ClockOp::WaitUntil(amount)
+                    }
+                },
+            )
+            .collect()
+    })
+}
+
 /// Strategy producing arbitrary-but-valid snippet profiles.
 fn snippet_strategy() -> impl Strategy<Value = SnippetProfile> {
     (
@@ -125,6 +149,93 @@ proptest! {
             prop_assert!(p.is_finite());
         }
         prop_assert!(rls.weights().iter().all(|w| w.is_finite()));
+    }
+
+    /// Virtual time never moves backwards, no matter how concurrent workers
+    /// interleave `advance_ns` (serving) and `wait_until_ns` (arrival) calls
+    /// on the shared clock: every observer sees a non-decreasing sequence of
+    /// readings, and the final reading covers every absolute wait target.
+    #[test]
+    fn virtual_clock_is_monotone_under_concurrent_interleavings(
+        ops in clock_ops_strategy(),
+        threads in 2usize..5,
+    ) {
+        let clock = Clock::virtual_clock();
+        let observations: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let clock = clock.clone();
+                    let ops = ops.clone();
+                    scope.spawn(move || {
+                        let mut seen = vec![clock.now_ns()];
+                        // Each worker walks the op list from its own offset, so
+                        // the threads genuinely interleave different calls.
+                        for op in ops.iter().cycle().skip(worker).take(ops.len()) {
+                            match op {
+                                ClockOp::Advance(delta) => {
+                                    seen.push(clock.advance_ns(*delta));
+                                }
+                                ClockOp::WaitUntil(deadline) => {
+                                    clock.wait_until_ns(*deadline);
+                                    seen.push(clock.now_ns());
+                                }
+                            }
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("clock worker panicked")).collect()
+        });
+        for seen in &observations {
+            prop_assert!(
+                seen.windows(2).all(|w| w[0] <= w[1]),
+                "a worker observed time moving backwards: {seen:?}"
+            );
+        }
+        let final_ns = clock.now_ns();
+        for op in &ops {
+            if let ClockOp::WaitUntil(deadline) = op {
+                prop_assert!(final_ns >= *deadline, "final {final_ns} missed deadline {deadline}");
+            }
+        }
+    }
+
+    /// The FIFO queue discipline produces sane stamps for arbitrary monotone
+    /// arrival sequences and service durations: service never starts before
+    /// arrival, sojourns are at least the service (never negative), and each
+    /// user's services neither overlap nor idle while work is waiting.
+    #[test]
+    fn fifo_queue_stamps_are_sane_for_arbitrary_loads(
+        raw in proptest::collection::vec((0u64..1_000_000_000, 0u64..400_000_000), 1..60),
+        user_slots in 1usize..5,
+    ) {
+        let mut arrivals: Vec<u64> = raw.iter().map(|(a, _)| *a).collect();
+        arrivals.sort_unstable();
+        let services: Vec<u64> = raw.iter().map(|(_, s)| *s).collect();
+        let stamps = fifo_stamps(&arrivals, &services, user_slots);
+        prop_assert!(stamps.len() == arrivals.len());
+        let mut user_previous: Vec<Option<QueueStamp>> = vec![None; user_slots];
+        for (i, stamp) in stamps.iter().enumerate() {
+            prop_assert!(stamp.arrival_ns == arrivals[i]);
+            prop_assert!(stamp.start_ns >= stamp.arrival_ns, "service before arrival at {i}");
+            prop_assert!(stamp.completion_ns == stamp.start_ns + stamp.service_ns);
+            prop_assert!(stamp.sojourn_ns() >= stamp.service_ns, "negative wait at {i}");
+            prop_assert!(stamp.sojourn_ns() == stamp.delay_ns() + stamp.service_ns);
+            match user_previous[i % user_slots] {
+                None => prop_assert!(stamp.start_ns == stamp.arrival_ns),
+                Some(previous) => {
+                    // FIFO: no overlap with the same user's previous job, and
+                    // work-conserving: the server takes the next job at the
+                    // later of its arrival and the previous completion.
+                    prop_assert!(stamp.start_ns >= previous.completion_ns);
+                    prop_assert!(
+                        stamp.start_ns == stamp.arrival_ns.max(previous.completion_ns)
+                    );
+                }
+            }
+            user_previous[i % user_slots] = Some(*stamp);
+        }
     }
 
     /// GPU frame rendering is physical for every configuration and any plausible
