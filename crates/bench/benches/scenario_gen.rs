@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     let start = std::time::Instant::now();
     let scenarios = generator.scenarios(200);
     let gen_elapsed = start.elapsed().as_secs_f64();
-    let snippets: usize = scenarios.iter().map(|s| s.profiles.len()).sum();
+    let snippets: usize = scenarios.iter().map(|s| s.decision_count()).sum();
     println!(
         "generator: 200 scenarios ({} snippets) in {:.1} ms — {:.0} scenarios/s",
         snippets,

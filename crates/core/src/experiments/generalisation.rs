@@ -123,7 +123,9 @@ pub fn generalisation_gap(scale: ExperimentScale) -> GeneralisationResult {
         // Scenario indices are round-robin over families, so this family's
         // users are family_idx, family_idx + families, ...
         let profiles: Vec<SnippetProfile> = (0..scenarios_per_family)
-            .flat_map(|round| generator.scenario(family_idx + round * families).profiles)
+            .flat_map(|round| {
+                generator.scenario(family_idx + round * families).cpu_profiles().into_owned()
+            })
             .collect();
 
         let mut online_il: Box<dyn DvfsPolicy> =

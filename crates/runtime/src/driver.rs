@@ -23,6 +23,7 @@
 //! per-decision [`DecisionRecord`] stream per scenario, which the
 //! `soclearn-scenarios` trace layer serialises into replayable JSONL traces.
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -33,26 +34,69 @@ use soclearn_soc_sim::{
 use soclearn_workloads::{ApplicationSequence, SnippetProfile};
 
 use crate::clock::Clock;
+use crate::substrate::{
+    DecisionKind, GpuAdapter, NocModel, SubstrateDecision, SubstratePolicies, SubstrateRecord,
+    SubstrateWork,
+};
 use crate::sweep::{SweepCache, SweepCacheStats, SweepEngine};
 
-/// One independent user: a named snippet sequence to serve end to end.
+/// One independent user: a named sequence of substrate segments to serve end
+/// to end.  Pure-CPU scenarios (the original serving path) are a single
+/// [`SubstrateWork::Cpu`] segment; heterogeneous users interleave CPU, GPU
+/// and NoC segments.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Scenario name (reported in telemetry breakdowns and error messages).
     pub name: String,
-    /// The snippet stream the user executes.
-    pub profiles: Vec<SnippetProfile>,
+    /// The substrate segments the user executes, in order.
+    pub segments: Vec<SubstrateWork>,
 }
 
 impl ScenarioSpec {
-    /// Creates a scenario from raw profiles.
+    /// Creates a pure-CPU scenario from raw profiles.
     pub fn new(name: impl Into<String>, profiles: Vec<SnippetProfile>) -> Self {
-        Self { name: name.into(), profiles }
+        Self { name: name.into(), segments: vec![SubstrateWork::Cpu(profiles)] }
     }
 
-    /// Creates a scenario from an application sequence.
+    /// Creates a scenario from explicit substrate segments.
+    pub fn with_segments(name: impl Into<String>, segments: Vec<SubstrateWork>) -> Self {
+        Self { name: name.into(), segments }
+    }
+
+    /// Creates a pure-CPU scenario from an application sequence.
     pub fn from_sequence(name: impl Into<String>, sequence: &ApplicationSequence) -> Self {
         Self::new(name, sequence.snippets().iter().map(|s| s.profile.clone()).collect())
+    }
+
+    /// The CPU snippet stream across all CPU segments, in execution order.
+    /// Borrows when the scenario is a single CPU segment (the common case).
+    pub fn cpu_profiles(&self) -> Cow<'_, [SnippetProfile]> {
+        match self.segments.as_slice() {
+            [SubstrateWork::Cpu(profiles)] => Cow::Borrowed(profiles),
+            segments => Cow::Owned(
+                segments
+                    .iter()
+                    .filter_map(|segment| match segment {
+                        SubstrateWork::Cpu(profiles) => Some(profiles.iter().cloned()),
+                        _ => None,
+                    })
+                    .flatten()
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Total number of decisions serving this scenario will produce.
+    pub fn decision_count(&self) -> usize {
+        self.segments.iter().map(SubstrateWork::decision_count).sum()
+    }
+
+    /// Substrates this scenario exercises, in canonical order.
+    pub fn kinds(&self) -> Vec<DecisionKind> {
+        DecisionKind::ALL
+            .into_iter()
+            .filter(|kind| self.segments.iter().any(|segment| segment.kind() == *kind))
+            .collect()
     }
 }
 
@@ -175,8 +219,8 @@ pub struct ScenarioRecord {
     /// Queueing timestamps, when the driver ran in service-time mode against
     /// a queue-aware source.
     pub queue: Option<QueueStamp>,
-    /// The per-decision records in execution order.
-    pub decisions: Vec<DecisionRecord>,
+    /// The kind-tagged per-decision records in execution order.
+    pub decisions: Vec<SubstrateRecord>,
 }
 
 /// Number of power-of-two latency buckets (1 ns up to ~3 simulated days, so
@@ -272,6 +316,36 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Per-substrate slice of the serving telemetry (cross-substrate energy
+/// accounting of a heterogeneous fleet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubstrateTelemetry {
+    /// The substrate these totals cover.
+    pub kind: DecisionKind,
+    /// Decisions served on this substrate.
+    pub decisions: usize,
+    /// Simulated energy on this substrate, joules.
+    pub energy_j: f64,
+    /// Simulated execution time on this substrate, seconds.
+    pub time_s: f64,
+}
+
+impl SubstrateTelemetry {
+    /// Empty totals for `kind`.
+    pub fn empty(kind: DecisionKind) -> Self {
+        Self { kind, decisions: 0, energy_j: 0.0, time_s: 0.0 }
+    }
+
+    /// One empty lane per [`DecisionKind`], in canonical order.
+    pub fn lanes() -> [SubstrateTelemetry; 3] {
+        [
+            SubstrateTelemetry::empty(DecisionKind::Cpu),
+            SubstrateTelemetry::empty(DecisionKind::Gpu),
+            SubstrateTelemetry::empty(DecisionKind::Noc),
+        ]
+    }
+}
+
 /// Per-worker slice of the aggregated telemetry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkerTelemetry {
@@ -291,6 +365,8 @@ pub struct WorkerTelemetry {
     pub busy_s: f64,
     /// Decisions whose big-cluster level matched the Oracle reference.
     pub oracle_matches: usize,
+    /// Per-substrate breakdown of this worker's decisions, canonical order.
+    pub substrates: [SubstrateTelemetry; 3],
 }
 
 /// Aggregated serving telemetry of one [`ScenarioDriver::run`].
@@ -325,11 +401,16 @@ pub struct DriverTelemetry {
     /// service start).  Same population rules as
     /// [`DriverTelemetry::sojourn`].
     pub queue_delay: LatencyHistogram,
-    /// Fraction of decisions whose big-cluster level matched the Oracle
-    /// reference; `None` when the driver ran without an Oracle reference.
+    /// Fraction of **CPU** decisions whose big-cluster level matched the
+    /// Oracle reference; `None` when the driver ran without an Oracle
+    /// reference.  (The Oracle sweeps DVFS configurations, so only CPU
+    /// decisions are scored.)
     pub oracle_agreement: Option<f64>,
     /// Hit/miss statistics of the shared sweep cache.
     pub cache: SweepCacheStats,
+    /// Per-substrate decision/energy/time breakdown, canonical order
+    /// (cross-substrate energy accounting of a heterogeneous fleet).
+    pub substrates: [SubstrateTelemetry; 3],
     /// Per-worker breakdowns, indexed by worker.
     pub workers: Vec<WorkerTelemetry>,
 }
@@ -490,17 +571,32 @@ impl ScenarioDriver {
     /// Serves every scenario the source yields and returns the aggregated
     /// telemetry.  `make_policy` is called once per scenario (from the worker
     /// thread that claimed it) with the scenario index and spec, so every user
-    /// gets an independent policy instance.
+    /// gets an independent policy instance.  GPU/NoC segments (if any) are
+    /// served by the per-substrate governor baselines; use
+    /// [`ScenarioDriver::run_stream_mixed`] to choose their controllers.
     pub fn run_stream<S, F>(&self, source: &S, make_policy: F) -> DriverTelemetry
     where
         S: ScenarioSource + ?Sized,
         F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
     {
-        self.run_inner(source, &make_policy, false).0
+        self.run_stream_mixed(source, |index, spec| {
+            SubstratePolicies::cpu_only(make_policy(index, spec))
+        })
+    }
+
+    /// Substrate-generic [`ScenarioDriver::run_stream`]: the factory returns
+    /// the full per-scenario [`SubstratePolicies`] bundle, so heterogeneous
+    /// scenarios choose their GPU controller and NoC latency model too.
+    pub fn run_stream_mixed<S, F>(&self, source: &S, make_policies: F) -> DriverTelemetry
+    where
+        S: ScenarioSource + ?Sized,
+        F: Fn(usize, &ScenarioSpec) -> SubstratePolicies + Sync,
+    {
+        self.run_inner(source, &make_policies, false).0
     }
 
     /// Like [`ScenarioDriver::run_stream`], but additionally records every
-    /// decision (snippet, chosen config, thermal state, telemetry) per
+    /// decision (snippet/frame/window, chosen config, telemetry) per
     /// scenario, sorted by scenario index.  The recording is what the trace
     /// layer in `soclearn-scenarios` serialises and replays; exact serving
     /// (the default) guarantees a replay reproduces the records bit-for-bit.
@@ -513,7 +609,22 @@ impl ScenarioDriver {
         S: ScenarioSource + ?Sized,
         F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
     {
-        let (telemetry, mut records) = self.run_inner(source, &make_policy, true);
+        self.run_recorded_mixed(source, |index, spec| {
+            SubstratePolicies::cpu_only(make_policy(index, spec))
+        })
+    }
+
+    /// Substrate-generic [`ScenarioDriver::run_recorded`].
+    pub fn run_recorded_mixed<S, F>(
+        &self,
+        source: &S,
+        make_policies: F,
+    ) -> (DriverTelemetry, Vec<ScenarioRecord>)
+    where
+        S: ScenarioSource + ?Sized,
+        F: Fn(usize, &ScenarioSpec) -> SubstratePolicies + Sync,
+    {
+        let (telemetry, mut records) = self.run_inner(source, &make_policies, true);
         records.sort_by_key(|r| r.index);
         (telemetry, records)
     }
@@ -521,21 +632,35 @@ impl ScenarioDriver {
     fn run_inner<S, F>(
         &self,
         source: &S,
-        make_policy: &F,
+        make_policies: &F,
         record: bool,
     ) -> (DriverTelemetry, Vec<ScenarioRecord>)
     where
         S: ScenarioSource + ?Sized,
-        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+        F: Fn(usize, &ScenarioSpec) -> SubstratePolicies + Sync,
     {
         let started_ns = self.clock.now_ns();
         let mut worker_slots: Vec<WorkerSlot> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
-                .map(|worker| scope.spawn(move || self.serve(worker, source, make_policy, record)))
+                .map(|worker| {
+                    scope.spawn(move || self.serve(worker, source, make_policies, record))
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("driver worker panicked")).collect()
         });
-        let wall_seconds = self.clock.seconds_since(started_ns);
+        // Service-time queueing: the run's span is the queueing timeline's
+        // horizon — the latest completion stamp — which is a pure function of
+        // the arrival schedule and the simulated service times, so
+        // `wall_seconds` is bit-stable at any worker count.  Reading the
+        // shared virtual clock instead would pick up whichever worker's
+        // `advance_ns` interleaving happened to run last.  Without stamps
+        // (no queue-aware source) the clock reading remains the only
+        // timeline, as before.
+        let stamped_horizon_ns = worker_slots.iter().map(|slot| slot.max_completion_ns).max();
+        let wall_seconds = match stamped_horizon_ns {
+            Some(horizon_ns) if horizon_ns > 0 => horizon_ns as f64 / 1e9,
+            _ => self.clock.seconds_since(started_ns),
+        };
 
         worker_slots.sort_by_key(|slot| slot.telemetry.worker);
         let mut latency = LatencyHistogram::new();
@@ -552,6 +677,15 @@ impl ScenarioDriver {
         }
         let decisions: usize = workers.iter().map(|w| w.decisions).sum();
         let matches: usize = workers.iter().map(|w| w.oracle_matches).sum();
+        let mut substrates = SubstrateTelemetry::lanes();
+        for worker in &workers {
+            for (lane, total) in substrates.iter_mut().zip(&worker.substrates) {
+                lane.decisions += total.decisions;
+                lane.energy_j += total.energy_j;
+                lane.time_s += total.time_s;
+            }
+        }
+        let cpu_decisions = substrates[DecisionKind::Cpu.lane()].decisions;
         let telemetry = DriverTelemetry {
             scenarios: workers.iter().map(|w| w.scenarios).sum(),
             decisions,
@@ -564,23 +698,24 @@ impl ScenarioDriver {
             sojourn,
             queue_delay,
             oracle_agreement: self.oracle_reference.map(|_| {
-                if decisions == 0 {
+                if cpu_decisions == 0 {
                     0.0
                 } else {
-                    matches as f64 / decisions as f64
+                    matches as f64 / cpu_decisions as f64
                 }
             }),
             cache: self.cache.stats(),
+            substrates,
             workers,
         };
         (telemetry, records)
     }
 
     /// Worker loop: claim scenarios until the source drains.
-    fn serve<S, F>(&self, worker: usize, source: &S, make_policy: &F, record: bool) -> WorkerSlot
+    fn serve<S, F>(&self, worker: usize, source: &S, make_policies: &F, record: bool) -> WorkerSlot
     where
         S: ScenarioSource + ?Sized,
-        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+        F: Fn(usize, &ScenarioSpec) -> SubstratePolicies + Sync,
     {
         let mut slot = WorkerSlot {
             telemetry: WorkerTelemetry {
@@ -591,11 +726,13 @@ impl ScenarioDriver {
                 simulated_time_s: 0.0,
                 busy_s: 0.0,
                 oracle_matches: 0,
+                substrates: SubstrateTelemetry::lanes(),
             },
             latency: LatencyHistogram::new(),
             sojourn: LatencyHistogram::new(),
             queue_delay: LatencyHistogram::new(),
             records: Vec::new(),
+            max_completion_ns: 0,
         };
         let mut oracle_engine = self
             .oracle_reference
@@ -615,7 +752,7 @@ impl ScenarioDriver {
                     index,
                     &scenario,
                     source,
-                    make_policy,
+                    make_policies,
                     record,
                     &mut slot,
                     &mut oracle_engine,
@@ -639,22 +776,35 @@ impl ScenarioDriver {
         index: usize,
         scenario: &ScenarioSpec,
         source: &S,
-        make_policy: &F,
+        make_policies: &F,
         record: bool,
         slot: &mut WorkerSlot,
         oracle_engine: &mut Option<SweepEngine>,
         service_ns: &mut u64,
     ) where
         S: ScenarioSource + ?Sized,
-        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+        F: Fn(usize, &ScenarioSpec) -> SubstratePolicies + Sync,
     {
-        let mut policy = make_policy(index, scenario);
-        let policy_name = record.then(|| policy.name().to_owned());
+        let mut policies = make_policies(index, scenario);
+        let policy_name = record.then(|| {
+            // Pure-CPU scenarios keep the bare CPU policy name (the original
+            // trace vocabulary); mixed scenarios compose the per-substrate
+            // labels so the record names the whole bundle.
+            let mut name = policies.cpu.name().to_owned();
+            for kind in scenario.kinds() {
+                match kind {
+                    DecisionKind::Cpu => {}
+                    DecisionKind::Gpu => name = format!("{name}+{}", policies.gpu.label()),
+                    DecisionKind::Noc => name = format!("{name}+{}", policies.noc.label()),
+                }
+            }
+            name
+        });
 
         let oracle_decisions = match (&mut *oracle_engine, self.oracle_reference) {
             (Some(engine), Some(objective)) => {
                 engine.reset();
-                Some(engine.oracle_run(&scenario.profiles, objective).decisions)
+                Some(engine.oracle_run(&scenario.cpu_profiles(), objective).decisions)
             }
             _ => None,
         };
@@ -662,6 +812,8 @@ impl ScenarioDriver {
         // Exact serving executes directly on a private simulator; quantised
         // serving routes executions through the shared bucketed cache (the
         // engine owns its own simulator, so only one of the two exists).
+        // One CPU simulator per scenario: thermal state carries across CPU
+        // segments, exactly as it did when scenarios were one snippet stream.
         let mut serving_engine = self
             .serving_cache
             .as_ref()
@@ -670,67 +822,114 @@ impl ScenarioDriver {
             None => Some(SocSimulator::new(self.platform.clone())),
             Some(_) => None,
         };
+        // One GPU adapter per scenario, created at the first GPU segment:
+        // DVFS/slice transition state and the controller's workload estimate
+        // carry across that scenario's GPU segments.
+        let mut gpu_adapter: Option<GpuAdapter> = None;
         let mut scenario_matches = 0usize;
-        let mut decisions = record.then(|| Vec::with_capacity(scenario.profiles.len()));
+        let mut decisions = record.then(|| Vec::with_capacity(scenario.decision_count()));
         let mut counters = SnippetCounters::default();
         let mut config = self.platform.max_config();
-        for (i, profile) in scenario.profiles.iter().enumerate() {
-            // Virtual clock: decisions are instantaneous in discrete-event
-            // time — reading the shared counter around `decide` would pick
-            // up *other* workers' arrival advances as phantom latency.
-            let decision_started_ns = (!self.clock.is_virtual()).then(|| self.clock.now_ns());
-            config = policy.decide(&self.platform, PolicyDecision::new(&counters, config, i));
-            slot.latency.record(match decision_started_ns {
-                Some(started_ns) => self.clock.now_ns().saturating_sub(started_ns),
-                None => 0,
-            });
-            let (big_temp_c, little_temp_c, result) = match &mut serving_engine {
-                Some(engine) => {
-                    let temps =
-                        (engine.sim().big_temperature_c(), engine.sim().little_temperature_c());
-                    (temps.0, temps.1, engine.execute(profile, config))
+        // Global decision ordinal (record index) and the CPU-only ordinal
+        // that indexes the Oracle reference.
+        let mut ordinal = 0usize;
+        let mut cpu_ordinal = 0usize;
+        for segment in &scenario.segments {
+            match segment {
+                SubstrateWork::Cpu(profiles) => {
+                    for profile in profiles {
+                        // Virtual clock: decisions are instantaneous in
+                        // discrete-event time — reading the shared counter
+                        // around `decide` would pick up *other* workers'
+                        // arrival advances as phantom latency.
+                        let decision_started_ns =
+                            (!self.clock.is_virtual()).then(|| self.clock.now_ns());
+                        config = policies.cpu.decide(
+                            &self.platform,
+                            PolicyDecision::new(&counters, config, cpu_ordinal),
+                        );
+                        slot.latency.record(match decision_started_ns {
+                            Some(started_ns) => self.clock.now_ns().saturating_sub(started_ns),
+                            None => 0,
+                        });
+                        let (big_temp_c, little_temp_c, result) = match &mut serving_engine {
+                            Some(engine) => {
+                                let temps = (
+                                    engine.sim().big_temperature_c(),
+                                    engine.sim().little_temperature_c(),
+                                );
+                                (temps.0, temps.1, engine.execute(profile, config))
+                            }
+                            None => {
+                                let sim = sim.as_mut().expect("exact serving owns a simulator");
+                                (
+                                    sim.big_temperature_c(),
+                                    sim.little_temperature_c(),
+                                    sim.execute_snippet(profile, config),
+                                )
+                            }
+                        };
+                        policies.cpu.observe_outcome(result.energy_j, result.time_s);
+                        counters = result.counters;
+                        if let Some(reference) = &oracle_decisions {
+                            if reference[cpu_ordinal].big_idx == config.big_idx {
+                                slot.telemetry.oracle_matches += 1;
+                                scenario_matches += 1;
+                            }
+                        }
+                        let decision = DecisionRecord {
+                            index: ordinal,
+                            profile: profile.clone(),
+                            config,
+                            big_temp_c,
+                            little_temp_c,
+                            energy_j: result.energy_j,
+                            time_s: result.time_s,
+                            counters: result.counters,
+                        };
+                        self.account_decision(slot, service_ns, &decision);
+                        if let Some(decisions) = &mut decisions {
+                            decisions.push(SubstrateRecord::Cpu(decision));
+                        }
+                        ordinal += 1;
+                        cpu_ordinal += 1;
+                    }
                 }
-                None => {
-                    let sim = sim.as_mut().expect("exact serving owns a simulator");
-                    (
-                        sim.big_temperature_c(),
-                        sim.little_temperature_c(),
-                        sim.execute_snippet(profile, config),
-                    )
+                SubstrateWork::Gpu(session) => {
+                    let adapter =
+                        gpu_adapter.get_or_insert_with(|| GpuAdapter::new(&policies.gpu, session));
+                    for demand in &session.frames {
+                        let decision_started_ns =
+                            (!self.clock.is_virtual()).then(|| self.clock.now_ns());
+                        let decision = adapter.serve_frame(demand, session.deadline_s(), ordinal);
+                        slot.latency.record(match decision_started_ns {
+                            Some(started_ns) => self.clock.now_ns().saturating_sub(started_ns),
+                            None => 0,
+                        });
+                        self.account_decision(slot, service_ns, &decision);
+                        if let Some(decisions) = &mut decisions {
+                            decisions.push(SubstrateRecord::Gpu(decision));
+                        }
+                        ordinal += 1;
+                    }
                 }
-            };
-            policy.observe_outcome(result.energy_j, result.time_s);
-            counters = result.counters;
-            if let Some(dilation) = self.service_dilation {
-                // Serving spends virtual time: each decision's simulated
-                // execution time (dilated) passes on the driver's clock.
-                // Integer nanoseconds keep the per-scenario totals exact
-                // and order-independent.
-                let decision_ns = (result.time_s.max(0.0) * dilation * 1e9).round() as u64;
-                *service_ns = service_ns.saturating_add(decision_ns);
-                self.clock.advance_ns(decision_ns);
-                slot.telemetry.busy_s += decision_ns as f64 / 1e9;
-            }
-            slot.telemetry.decisions += 1;
-            slot.telemetry.energy_j += result.energy_j;
-            slot.telemetry.simulated_time_s += result.time_s;
-            if let Some(reference) = &oracle_decisions {
-                if reference[i].big_idx == config.big_idx {
-                    slot.telemetry.oracle_matches += 1;
-                    scenario_matches += 1;
+                SubstrateWork::Noc(session) => {
+                    let model = NocModel::build(&policies.noc, session);
+                    for (window, &offered_rate) in session.query_rates.iter().enumerate() {
+                        let decision_started_ns =
+                            (!self.clock.is_virtual()).then(|| self.clock.now_ns());
+                        let decision = model.serve_window(session, window, offered_rate, ordinal);
+                        slot.latency.record(match decision_started_ns {
+                            Some(started_ns) => self.clock.now_ns().saturating_sub(started_ns),
+                            None => 0,
+                        });
+                        self.account_decision(slot, service_ns, &decision);
+                        if let Some(decisions) = &mut decisions {
+                            decisions.push(SubstrateRecord::Noc(decision));
+                        }
+                        ordinal += 1;
+                    }
                 }
-            }
-            if let Some(decisions) = &mut decisions {
-                decisions.push(DecisionRecord {
-                    index: i,
-                    profile: profile.clone(),
-                    config,
-                    big_temp_c,
-                    little_temp_c,
-                    energy_j: result.energy_j,
-                    time_s: result.time_s,
-                    counters: result.counters,
-                });
             }
         }
         slot.telemetry.scenarios += 1;
@@ -741,6 +940,7 @@ impl ScenarioDriver {
         if let Some(stamp) = &queue {
             slot.sojourn.record(stamp.sojourn_ns());
             slot.queue_delay.record(stamp.delay_ns());
+            slot.max_completion_ns = slot.max_completion_ns.max(stamp.completion_ns);
         }
         if let Some(decisions) = decisions {
             slot.records.push(ScenarioRecord {
@@ -753,6 +953,33 @@ impl ScenarioDriver {
             });
         }
     }
+
+    /// Folds one served decision (any substrate) into the worker totals and,
+    /// in service-time mode, spends its simulated time on the driver's clock.
+    fn account_decision<D: SubstrateDecision>(
+        &self,
+        slot: &mut WorkerSlot,
+        service_ns: &mut u64,
+        decision: &D,
+    ) {
+        if let Some(dilation) = self.service_dilation {
+            // Serving spends virtual time: each decision's simulated
+            // execution time (dilated) passes on the driver's clock.
+            // Integer nanoseconds keep the per-scenario totals exact
+            // and order-independent.
+            let decision_ns = (decision.service_time_s().max(0.0) * dilation * 1e9).round() as u64;
+            *service_ns = service_ns.saturating_add(decision_ns);
+            self.clock.advance_ns(decision_ns);
+            slot.telemetry.busy_s += decision_ns as f64 / 1e9;
+        }
+        slot.telemetry.decisions += 1;
+        slot.telemetry.energy_j += decision.energy_j();
+        slot.telemetry.simulated_time_s += decision.service_time_s();
+        let lane = &mut slot.telemetry.substrates[decision.kind().lane()];
+        lane.decisions += 1;
+        lane.energy_j += decision.energy_j();
+        lane.time_s += decision.service_time_s();
+    }
 }
 
 /// Everything one worker brings back from its serve loop.
@@ -762,6 +989,9 @@ struct WorkerSlot {
     sojourn: LatencyHistogram,
     queue_delay: LatencyHistogram,
     records: Vec<ScenarioRecord>,
+    /// Latest queueing-timeline completion stamp this worker observed; the
+    /// run's `wall_seconds` is the maximum across workers.
+    max_completion_ns: u64,
 }
 
 #[cfg(test)]
@@ -825,7 +1055,7 @@ mod tests {
             ScenarioDriver::new(platform.clone(), 4).with_oracle_reference(OracleObjective::Energy);
         let telemetry = driver.run(&specs, |_, spec| {
             let mut engine = SweepEngine::new(platform.clone());
-            let run = engine.oracle_run(&spec.profiles, OracleObjective::Energy);
+            let run = engine.oracle_run(&spec.cpu_profiles(), OracleObjective::Energy);
             Box::new(OraclePolicy::from_run(&run, platform.min_config()))
         });
         assert_eq!(telemetry.oracle_agreement, Some(1.0));
@@ -866,8 +1096,10 @@ mod tests {
             assert_eq!(record.decisions.len(), 3);
             assert!(record.oracle_matches.is_some());
         }
-        let recorded_energy: f64 =
-            records.iter().flat_map(|r| r.decisions.iter().map(|d| d.energy_j)).sum();
+        let recorded_energy: f64 = records
+            .iter()
+            .flat_map(|r| r.decisions.iter().map(SubstrateDecision::energy_j))
+            .sum();
         assert!((recorded_energy - telemetry.total_energy_j).abs() < 1e-9);
         let matches: usize = records.iter().filter_map(|r| r.oracle_matches).sum();
         let agreement = telemetry.oracle_agreement.expect("reference was requested");
@@ -885,6 +1117,7 @@ mod tests {
         for record in &records {
             let mut sim = SocSimulator::new(platform.clone());
             for decision in &record.decisions {
+                let decision = decision.as_cpu().expect("pure-CPU scenario");
                 assert_eq!(sim.big_temperature_c().to_bits(), decision.big_temp_c.to_bits());
                 let replayed = sim.execute_snippet(&decision.profile, decision.config);
                 assert_eq!(replayed.energy_j.to_bits(), decision.energy_j.to_bits());

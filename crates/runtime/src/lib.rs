@@ -46,6 +46,7 @@ pub mod artifacts;
 pub mod clock;
 pub mod driver;
 pub mod scale;
+pub mod substrate;
 pub mod sweep;
 
 pub use artifacts::{
@@ -55,7 +56,13 @@ pub use artifacts::{
 pub use clock::Clock;
 pub use driver::{
     DecisionRecord, DriverTelemetry, LatencyHistogram, QueueStamp, ScenarioDriver, ScenarioRecord,
-    ScenarioSource, ScenarioSpec, SliceSource, WorkerTelemetry,
+    ScenarioSource, ScenarioSpec, SliceSource, SubstrateTelemetry, WorkerTelemetry,
 };
 pub use scale::ExperimentScale;
+pub use substrate::{
+    noc_decision_seed, replay_noc_window, DecisionKind, FrameDemand, GpuConfig, GpuDecisionRecord,
+    GpuPlatform, GpuReplayOutcome, GpuReplayer, GpuServing, GpuSessionSpec, MeshConfig,
+    NocDecisionRecord, NocServing, NocSessionSpec, SubstrateDecision, SubstratePolicies,
+    SubstrateRecord, SubstrateWork, TrafficPattern,
+};
 pub use sweep::{SweepCache, SweepCacheStats, SweepEngine};

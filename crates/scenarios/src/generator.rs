@@ -22,7 +22,10 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use soclearn_runtime::ScenarioSpec;
+use soclearn_runtime::{
+    FrameDemand, GpuSessionSpec, MeshConfig, NocSessionSpec, ScenarioSpec, SubstrateWork,
+    TrafficPattern,
+};
 use soclearn_workloads::{BenchmarkSuite, SnippetPhase, SnippetProfile, SuiteKind};
 
 /// A parameterised distribution over snippet profiles.
@@ -66,6 +69,14 @@ fn sample_u64(rng: &mut ChaCha8Rng, range: (u64, u64)) -> u64 {
         range.0
     } else {
         rng.gen_range(range.0..range.1 + 1)
+    }
+}
+
+fn sample_len(rng: &mut ChaCha8Rng, range: (usize, usize)) -> usize {
+    if range.0 >= range.1 {
+        range.0.max(1)
+    } else {
+        rng.gen_range(range.0..range.1 + 1).max(1)
     }
 }
 
@@ -394,6 +405,152 @@ impl Perturbation {
     }
 }
 
+/// Parameterised GPU rendering sessions: per-frame demand ranges plus the
+/// target frame rate whose period is the per-frame deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphicsSpec {
+    /// Family name (scenario names are `"{name}-{index}"`).
+    pub name: String,
+    /// Range of session lengths in frames.
+    pub frames: (usize, usize),
+    /// Per-frame GPU work range, cycles.
+    pub work_cycles: (f64, f64),
+    /// Per-frame Amdahl parallel-fraction range.
+    pub parallel_fraction: (f64, f64),
+    /// Per-frame memory-access range.
+    pub memory_accesses: (f64, f64),
+    /// Target frame rate; `1 / fps` is the per-frame deadline.
+    pub target_fps: f64,
+}
+
+impl GraphicsSpec {
+    /// A 30 FPS mixed-intensity rendering preset, sessions around `decisions`
+    /// frames long (±25%).
+    pub fn rendering(decisions: usize) -> Self {
+        let d = decisions.max(4);
+        Self {
+            name: "graphics-burst".to_owned(),
+            frames: (d * 3 / 4, d * 5 / 4),
+            work_cycles: (6.0e8, 2.4e9),
+            parallel_fraction: (0.70, 0.95),
+            memory_accesses: (1.0e7, 6.0e7),
+            target_fps: 30.0,
+        }
+    }
+
+    /// Draws one rendering session.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> GpuSessionSpec {
+        let len = sample_len(rng, self.frames);
+        let frames = (0..len)
+            .map(|_| {
+                FrameDemand::new(
+                    sample_f64(rng, self.work_cycles),
+                    sample_f64(rng, self.parallel_fraction),
+                    sample_f64(rng, self.memory_accesses),
+                )
+            })
+            .collect();
+        GpuSessionSpec::new(frames, self.target_fps)
+    }
+}
+
+/// Parameterised NoC monitoring sessions: a mesh, candidate traffic patterns
+/// and per-window offered-rate ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshSpec {
+    /// Family name (scenario names are `"{name}-{index}"`).
+    pub name: String,
+    /// Mesh dimensions `(width, height)`.
+    pub mesh: (usize, usize),
+    /// Traffic patterns a session may run (one is drawn per scenario).
+    pub patterns: Vec<TrafficPattern>,
+    /// Range of session lengths in monitoring windows.
+    pub windows: (usize, usize),
+    /// Per-window offered injection-rate range, packets/node/cycle.
+    pub offered_rate: (f64, f64),
+    /// Injection rates the latency model trains on.
+    pub train_rates: Vec<f64>,
+    /// Simulated cycles per training run.
+    pub train_cycles: u64,
+    /// Simulated cycles per monitoring window.
+    pub window_cycles: u64,
+    /// Latency budget the throttling policy enforces, cycles.
+    pub latency_budget_cycles: f64,
+}
+
+impl MeshSpec {
+    /// A 4×4-mesh monitoring preset, sessions around `decisions` windows long
+    /// (±25%).
+    pub fn monitoring(decisions: usize) -> Self {
+        let d = decisions.max(2);
+        Self {
+            name: "mesh-monitor".to_owned(),
+            mesh: (4, 4),
+            patterns: vec![
+                TrafficPattern::Uniform,
+                TrafficPattern::Hotspot,
+                TrafficPattern::Transpose,
+            ],
+            windows: (d * 3 / 4, d * 5 / 4),
+            offered_rate: (0.02, 0.30),
+            train_rates: vec![0.02, 0.05, 0.09, 0.14],
+            train_cycles: 4_000,
+            window_cycles: 2_000,
+            latency_budget_cycles: 30.0,
+        }
+    }
+
+    /// Draws one monitoring session.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> NocSessionSpec {
+        let pattern = self.patterns[rng.gen_range(0..self.patterns.len().max(1))];
+        let len = sample_len(rng, self.windows);
+        let query_rates = (0..len).map(|_| sample_f64(rng, self.offered_rate)).collect();
+        NocSessionSpec {
+            mesh: MeshConfig::new(self.mesh.0, self.mesh.1),
+            pattern,
+            seed: rng.gen_range(0..u64::MAX),
+            train_rates: self.train_rates.clone(),
+            train_cycles: self.train_cycles,
+            query_rates,
+            query_cycles: self.window_cycles,
+            latency_budget_cycles: self.latency_budget_cycles,
+        }
+    }
+}
+
+/// A heterogeneous user: CPU phases interleaved with a GPU rendering burst
+/// and a closing NoC monitoring window, the mixed-substrate analogue of a
+/// [`FamilySpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeterogeneousSpec {
+    /// Family name (scenario names are `"{name}-{index}"`).
+    pub name: String,
+    /// The CPU phases (the inner spec's own name is unused).
+    pub cpu: FamilySpec,
+    /// The GPU rendering burst between the CPU phases.
+    pub graphics: GraphicsSpec,
+    /// The NoC monitoring window closing the session.
+    pub mesh: MeshSpec,
+}
+
+impl HeterogeneousSpec {
+    /// Draws one CPU → GPU → CPU → NoC session.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<SubstrateWork> {
+        let profiles = self.cpu.generate(rng);
+        let split = (profiles.len() / 2).max(1);
+        let (front, back) = profiles.split_at(split.min(profiles.len()));
+        let mut segments = vec![
+            SubstrateWork::Cpu(front.to_vec()),
+            SubstrateWork::Gpu(self.graphics.generate(rng)),
+        ];
+        if !back.is_empty() {
+            segments.push(SubstrateWork::Cpu(back.to_vec()));
+        }
+        segments.push(SubstrateWork::Noc(self.mesh.generate(rng)));
+        segments
+    }
+}
+
 /// A scenario family the generator can draw users from.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioFamily {
@@ -409,6 +566,15 @@ pub enum ScenarioFamily {
         /// The mutation operators.
         perturbation: Perturbation,
     },
+    /// GPU rendering users: every decision is a frame served by the GPU
+    /// power controller.
+    Graphics(GraphicsSpec),
+    /// NoC monitoring users: every decision is a mesh monitoring window
+    /// served by the latency-throttling policy.
+    Mesh(MeshSpec),
+    /// Heterogeneous users interleaving CPU phases with a GPU burst and a
+    /// NoC monitoring window (boxed: the spec holds three full sub-specs).
+    Heterogeneous(Box<HeterogeneousSpec>),
 }
 
 impl ScenarioFamily {
@@ -419,6 +585,9 @@ impl ScenarioFamily {
             ScenarioFamily::PerturbedSuite { kind, .. } => {
                 format!("perturbed-{}", kind.name().to_lowercase())
             }
+            ScenarioFamily::Graphics(spec) => spec.name.clone(),
+            ScenarioFamily::Mesh(spec) => spec.name.clone(),
+            ScenarioFamily::Heterogeneous(spec) => spec.name.clone(),
         }
     }
 }
@@ -455,7 +624,10 @@ impl ScenarioGenerator {
         let perturbed_bases = families
             .iter()
             .map(|family| match family {
-                ScenarioFamily::Synthetic(_) => None,
+                ScenarioFamily::Synthetic(_)
+                | ScenarioFamily::Graphics(_)
+                | ScenarioFamily::Mesh(_)
+                | ScenarioFamily::Heterogeneous(_) => None,
                 ScenarioFamily::PerturbedSuite { kind, snippets_per_benchmark, .. } => {
                     let suite = BenchmarkSuite::generate(*kind, seed);
                     Some(
@@ -513,6 +685,37 @@ impl ScenarioGenerator {
         )
     }
 
+    /// The heterogeneous seven-family mix: the four [`standard`] families plus
+    /// GPU rendering users, NoC monitoring users and mixed CPU→GPU→CPU→NoC
+    /// sessions.  Scenario `i` stays a pure function of `(seed, i)`, so mixed
+    /// fleets replay bit-identically at any worker count.
+    ///
+    /// [`standard`]: ScenarioGenerator::standard
+    pub fn heterogeneous(seed: u64, snippets: usize) -> Self {
+        let mut families = Self::standard(seed, snippets).families;
+        families.push(ScenarioFamily::Graphics(GraphicsSpec::rendering(snippets)));
+        families.push(ScenarioFamily::Mesh(MeshSpec::monitoring(snippets / 2)));
+        families.push(ScenarioFamily::Heterogeneous(Box::new(HeterogeneousSpec {
+            name: "hetero-pipeline".to_owned(),
+            cpu: FamilySpec {
+                name: "hetero-cpu".to_owned(),
+                quiet: SnippetDistribution::idle_skewed(),
+                active: SnippetDistribution::compute_skewed(),
+                pattern: PhasePattern::Ramp { from: 0.2, to: 1.0 },
+                snippets: (snippets.max(4) * 3 / 4, snippets.max(4) * 5 / 4),
+            },
+            graphics: GraphicsSpec {
+                frames: ((snippets / 3).max(2), (snippets / 2).max(3)),
+                ..GraphicsSpec::rendering(snippets)
+            },
+            mesh: MeshSpec {
+                windows: ((snippets / 4).max(1), (snippets / 3).max(2)),
+                ..MeshSpec::monitoring(snippets)
+            },
+        })));
+        Self::new(seed, families)
+    }
+
     /// The families scenarios are drawn from.
     pub fn families(&self) -> &[ScenarioFamily] {
         &self.families
@@ -536,16 +739,25 @@ impl ScenarioGenerator {
         let family = &self.families[family_idx];
         let mut rng =
             ChaCha8Rng::seed_from_u64(self.seed ^ (index as u64 + 1).wrapping_mul(SEED_MIX));
-        let profiles = match family {
-            ScenarioFamily::Synthetic(spec) => spec.generate(&mut rng),
+        let name = format!("{}-{index}", family.name());
+        match family {
+            ScenarioFamily::Synthetic(spec) => ScenarioSpec::new(name, spec.generate(&mut rng)),
             ScenarioFamily::PerturbedSuite { perturbation, .. } => {
                 let base = self.perturbed_bases[family_idx]
                     .as_ref()
                     .expect("perturbed family has a precomputed base");
-                perturbation.apply(base, &mut rng)
+                ScenarioSpec::new(name, perturbation.apply(base, &mut rng))
             }
-        };
-        ScenarioSpec::new(format!("{}-{index}", family.name()), profiles)
+            ScenarioFamily::Graphics(spec) => {
+                ScenarioSpec::with_segments(name, vec![SubstrateWork::Gpu(spec.generate(&mut rng))])
+            }
+            ScenarioFamily::Mesh(spec) => {
+                ScenarioSpec::with_segments(name, vec![SubstrateWork::Noc(spec.generate(&mut rng))])
+            }
+            ScenarioFamily::Heterogeneous(spec) => {
+                ScenarioSpec::with_segments(name, spec.generate(&mut rng))
+            }
+        }
     }
 
     /// Generates the first `count` scenarios.
@@ -634,6 +846,47 @@ mod tests {
         assert_eq!(g.family_of(3), "perturbed-cortex");
         assert!(g.scenario(3).name.starts_with("perturbed-cortex-"));
         assert!(g.scenario(0).name.starts_with("bursty-compute-"));
+    }
+
+    #[test]
+    fn heterogeneous_mix_spans_all_substrates_deterministically() {
+        use soclearn_runtime::DecisionKind;
+
+        let g = ScenarioGenerator::heterogeneous(9, 12);
+        assert_eq!(g.families().len(), 7);
+        assert_eq!(g.family_of(4), "graphics-burst");
+        assert_eq!(g.family_of(5), "mesh-monitor");
+        assert_eq!(g.family_of(6), "hetero-pipeline");
+
+        let graphics = g.scenario(4);
+        assert_eq!(graphics.kinds(), vec![DecisionKind::Gpu]);
+        assert!(graphics.decision_count() >= 2);
+
+        let mesh = g.scenario(5);
+        assert_eq!(mesh.kinds(), vec![DecisionKind::Noc]);
+
+        let hetero = g.scenario(6);
+        assert_eq!(
+            hetero.kinds(),
+            vec![DecisionKind::Cpu, DecisionKind::Gpu, DecisionKind::Noc],
+            "mixed sessions interleave all three substrates"
+        );
+        assert!(hetero.segments.len() >= 3, "CPU → GPU → CPU → NoC interleaving");
+
+        // Purity: the same (seed, index) regenerates bit-identically, out of
+        // order; a different seed diverges.
+        assert_eq!(g.scenario(6), hetero);
+        assert_eq!(g.scenario(4), graphics);
+        assert_ne!(ScenarioGenerator::heterogeneous(10, 12).scenario(6), hetero);
+
+        // CPU-only families are untouched by the extension.
+        let standard = ScenarioGenerator::standard(9, 12);
+        for i in 0..4 {
+            // Same family list prefix; indices map differently (7 vs 4
+            // families), so compare by regenerating family 0 scenarios.
+            assert_eq!(standard.families()[i].name(), g.families()[i].name());
+        }
+        assert_eq!(standard.scenario(0), g.scenario(0), "family 0, index 0 coincide");
     }
 
     #[test]

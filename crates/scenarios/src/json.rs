@@ -52,6 +52,14 @@ impl<'a> JsonValue<'a> {
         }
     }
 
+    /// The value as `bool`, if it is a boolean literal.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as `&str`, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

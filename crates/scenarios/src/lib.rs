@@ -49,10 +49,11 @@ pub mod stress;
 pub mod trace;
 
 pub use generator::{
-    FamilySpec, Perturbation, PhasePattern, ScenarioFamily, ScenarioGenerator, SnippetDistribution,
+    FamilySpec, GraphicsSpec, HeterogeneousSpec, MeshSpec, Perturbation, PhasePattern,
+    ScenarioFamily, ScenarioGenerator, SnippetDistribution,
 };
 pub use stress::{
-    fifo_stamps, sorted_quantile_ns, ArrivalSchedule, FamilyEnergyDelta, FamilyTelemetry,
-    FleetReport, FleetSource, FleetStress, QueueReport, QueueingConfig,
+    fifo_stamps, sorted_quantile_ns, ArrivalPlan, ArrivalSchedule, FamilyEnergyDelta,
+    FamilyTelemetry, FleetReport, FleetSource, FleetStress, QueueReport, QueueingConfig,
 };
-pub use trace::{replay, ReplayReport, ScenarioTrace, Trace, TraceDecision, TraceDiff, TraceError};
+pub use trace::{replay, ReplayReport, ScenarioTrace, Trace, TraceDiff, TraceError};

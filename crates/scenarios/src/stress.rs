@@ -34,8 +34,8 @@ use std::time::Duration;
 use soclearn_governors::{InteractiveGovernor, OndemandGovernor};
 use soclearn_oracle::OracleObjective;
 use soclearn_runtime::{
-    Clock, DriverTelemetry, QueueStamp, ScenarioDriver, ScenarioRecord, ScenarioSource,
-    ScenarioSpec,
+    Clock, DecisionKind, DriverTelemetry, QueueStamp, ScenarioDriver, ScenarioRecord,
+    ScenarioSource, ScenarioSpec, SubstrateDecision, SubstratePolicies,
 };
 use soclearn_soc_sim::{DvfsPolicy, SocPlatform};
 
@@ -119,53 +119,145 @@ impl ArrivalSchedule {
     /// Offset from the run start at which user `index` of `total` arrives.
     ///
     /// A pure function of the schedule and `index` — that purity is what the
-    /// fleet determinism guarantees rest on.  For the cumulative schedules
-    /// (`Ramp`, `Diurnal`, `Markov`) the cost is O(`index`) float steps, i.e.
-    /// O(n²) over a fleet that queries every arrival; at tens of thousands of
-    /// users that is tens of milliseconds total — precompute the offsets once
-    /// if a fleet ever grows far beyond that.
+    /// fleet determinism guarantees rest on.  `Immediate`, `Constant`,
+    /// `Bursty` and `Ramp` are closed-form O(1); the self-referential
+    /// schedules (`Diurnal`, whose spacing depends on the arrival time
+    /// itself, and `Markov`, whose state chain advances per arrival) cost
+    /// O(`index`) float steps from scratch — an [`ArrivalPlan`] memoises the
+    /// prefix so a fleet that queries every arrival pays O(n) total instead
+    /// of O(n²).
     pub fn arrival_offset(&self, index: usize, total: usize) -> Duration {
         match *self {
             ArrivalSchedule::Immediate => Duration::ZERO,
             ArrivalSchedule::Constant { interval } => interval * index as u32,
             ArrivalSchedule::Bursty { burst, gap } => gap * (index / burst.max(1)) as u32,
             ArrivalSchedule::Ramp { start, end } => {
-                // Sum of a linearly interpolated spacing sequence.
+                // Arithmetic series of the linearly interpolated spacing
+                // sequence: sum of start + (end-start)·(i/n) for i < index.
                 let n = total.max(2) as f64 - 1.0;
-                let mut offset = 0.0;
-                for i in 0..index {
-                    let t = i as f64 / n;
-                    offset += start.as_secs_f64() + (end.as_secs_f64() - start.as_secs_f64()) * t;
-                }
-                Duration::from_secs_f64(offset)
+                let k = index as f64;
+                let slope = (end.as_secs_f64() - start.as_secs_f64()) / n;
+                Duration::from_secs_f64(k * start.as_secs_f64() + slope * (k * (k - 1.0) / 2.0))
             }
+            ArrivalSchedule::Diurnal { .. } | ArrivalSchedule::Markov { .. } => {
+                let mut state = CumulativeState::new(*self);
+                for _ in 0..index {
+                    state.step(self);
+                }
+                Duration::from_secs_f64(state.offset_s)
+            }
+        }
+    }
+
+    /// Whether offsets must be computed by stepping a recurrence (so an
+    /// [`ArrivalPlan`] memoises them) rather than in closed form.
+    fn is_cumulative(&self) -> bool {
+        matches!(self, ArrivalSchedule::Diurnal { .. } | ArrivalSchedule::Markov { .. })
+    }
+}
+
+/// Stepping state of the self-referential schedules: the arrival offset plus,
+/// for `Markov`, the chain's rng stream and current phase.  One [`step`]
+/// advances exactly one arrival, so a memoised prefix walk performs the float
+/// operations in the identical order as the from-scratch loop — the two are
+/// bit-equal by construction.
+///
+/// [`step`]: CumulativeState::step
+#[derive(Debug, Clone, Copy)]
+struct CumulativeState {
+    offset_s: f64,
+    rng: u64,
+    stormy: bool,
+}
+
+impl CumulativeState {
+    fn new(schedule: ArrivalSchedule) -> Self {
+        let rng = match schedule {
+            ArrivalSchedule::Markov { seed, .. } => seed,
+            _ => 0,
+        };
+        Self { offset_s: 0.0, rng, stormy: false }
+    }
+
+    fn step(&mut self, schedule: &ArrivalSchedule) {
+        match *schedule {
             ArrivalSchedule::Diurnal { period, peak, off_peak } => {
                 let period_s = period.as_secs_f64().max(1e-9);
                 let peak_s = peak.as_secs_f64();
                 let off_s = off_peak.as_secs_f64();
-                let mut offset = 0.0;
-                for _ in 0..index {
-                    let phase = offset / period_s * std::f64::consts::TAU;
-                    // cos = 1 at phase zero -> the dense `peak` spacing.
-                    offset += off_s + (peak_s - off_s) * (1.0 + phase.cos()) / 2.0;
-                }
-                Duration::from_secs_f64(offset)
+                let phase = self.offset_s / period_s * std::f64::consts::TAU;
+                // cos = 1 at phase zero -> the dense `peak` spacing.
+                self.offset_s += off_s + (peak_s - off_s) * (1.0 + phase.cos()) / 2.0;
             }
-            ArrivalSchedule::Markov { calm, storm, persistence, seed } => {
+            ArrivalSchedule::Markov { calm, storm, persistence, .. } => {
                 let stay = persistence.clamp(0.0, 1.0);
-                let mut rng = seed;
-                let mut stormy = false;
-                let mut offset = 0.0;
-                for _ in 0..index {
-                    let u = splitmix64(&mut rng) as f64 / u64::MAX as f64;
-                    if u > stay {
-                        stormy = !stormy;
-                    }
-                    offset += if stormy { storm } else { calm }.as_secs_f64();
+                let u = splitmix64(&mut self.rng) as f64 / u64::MAX as f64;
+                if u > stay {
+                    self.stormy = !self.stormy;
                 }
-                Duration::from_secs_f64(offset)
+                self.offset_s += if self.stormy { storm } else { calm }.as_secs_f64();
             }
+            _ => unreachable!("only cumulative schedules step"),
         }
+    }
+}
+
+/// Memoised arrival offsets of one schedule over one fleet: O(1) for the
+/// closed-form schedules and O(1) amortised for the self-referential ones
+/// (`Diurnal`, `Markov`), against O(`index`) per query on the bare
+/// [`ArrivalSchedule::arrival_offset`].
+///
+/// Every offset is **bit-identical** to `arrival_offset(index, total)`: the
+/// plan extends a cached prefix by stepping the same recurrence in the same
+/// order, it never re-associates the float accumulation.  Queries may arrive
+/// from any thread in any index order (the cache sits behind a mutex), which
+/// is exactly how a multi-worker [`FleetSource`] drains a fleet.
+pub struct ArrivalPlan {
+    schedule: ArrivalSchedule,
+    total: usize,
+    /// Offsets of indices `0..cached.offsets_s.len()` plus the stepping state
+    /// to extend the prefix; only populated for cumulative schedules.
+    cached: Mutex<PlanCache>,
+}
+
+struct PlanCache {
+    offsets_s: Vec<f64>,
+    state: CumulativeState,
+}
+
+impl ArrivalPlan {
+    /// Plans `schedule` over a fleet of `total` users.
+    pub fn new(schedule: ArrivalSchedule, total: usize) -> Self {
+        Self {
+            schedule,
+            total,
+            cached: Mutex::new(PlanCache {
+                offsets_s: vec![0.0],
+                state: CumulativeState::new(schedule),
+            }),
+        }
+    }
+
+    /// The schedule this plan memoises.
+    pub fn schedule(&self) -> &ArrivalSchedule {
+        &self.schedule
+    }
+
+    /// Offset at which user `index` arrives; bit-identical to
+    /// `self.schedule().arrival_offset(index, total)` at any query order.
+    pub fn offset(&self, index: usize) -> Duration {
+        if !self.schedule.is_cumulative() {
+            return self.schedule.arrival_offset(index, self.total);
+        }
+        let mut cache = self.cached.lock().expect("arrival plan lock");
+        while cache.offsets_s.len() <= index {
+            let mut state = cache.state;
+            state.step(&self.schedule);
+            cache.state = state;
+            let offset_s = state.offset_s;
+            cache.offsets_s.push(offset_s);
+        }
+        Duration::from_secs_f64(cache.offsets_s[index])
     }
 }
 
@@ -319,7 +411,9 @@ impl QueueModel {
 pub struct FleetSource {
     generator: Arc<ScenarioGenerator>,
     users: usize,
-    schedule: ArrivalSchedule,
+    /// Memoised schedule: claims query arrival offsets out of order from many
+    /// workers, so the O(1)-amortised plan replaces per-claim O(index) walks.
+    plan: ArrivalPlan,
     clock: Clock,
     next: AtomicUsize,
     started_ns: OnceLock<u64>,
@@ -332,7 +426,7 @@ impl FleetSource {
         Self {
             generator,
             users,
-            schedule,
+            plan: ArrivalPlan::new(schedule, users),
             clock: Clock::wall(),
             next: AtomicUsize::new(0),
             started_ns: OnceLock::new(),
@@ -384,7 +478,7 @@ impl ScenarioSource for FleetSource {
             return None;
         }
         let started_ns = *self.started_ns.get_or_init(|| self.clock.now_ns());
-        let due_ns = self.schedule.arrival_offset(index, self.users).as_nanos() as u64;
+        let due_ns = self.plan.offset(index).as_nanos() as u64;
         // Generate before registering the arrival: once an index is
         // registered, same-user successors will wait on its queue stamp, so
         // nothing that can panic (the generator) may run between registration
@@ -441,7 +535,15 @@ pub struct FamilyTelemetry {
     pub mean_sojourn_s: f64,
     /// 95th-percentile sojourn of the family's arrivals, seconds.
     pub p95_sojourn_s: f64,
-    /// Fraction of decisions matching the Oracle reference, when scored.
+    /// Decisions per substrate, indexed by [`DecisionKind::lane`]
+    /// (`[cpu, gpu, noc]`); sums to `decisions`.
+    pub substrate_decisions: [usize; 3],
+    /// Energy per substrate, joules, indexed like `substrate_decisions`;
+    /// sums to `energy_j`.  The cross-substrate energy split of the family.
+    pub substrate_energy_j: [f64; 3],
+    /// Fraction of **CPU** decisions matching the Oracle reference, when
+    /// scored (the Oracle speaks DVFS only, so GPU/NoC decisions are neither
+    /// scored nor counted in the denominator).
     pub oracle_agreement: Option<f64>,
 }
 
@@ -684,12 +786,27 @@ impl FleetStress {
         &self.generator
     }
 
-    /// Streams the fleet through a [`ScenarioDriver`] serving policies from
-    /// `make_policy`, recording every decision and aggregating per-family
-    /// telemetry.
+    /// Streams the fleet through a [`ScenarioDriver`] serving CPU policies
+    /// from `make_policy`, recording every decision and aggregating
+    /// per-family telemetry.  GPU/NoC segments (if the generator produces
+    /// any) are served by the substrate governor baselines; use
+    /// [`FleetStress::run_mixed`] to choose per-substrate policies.
     pub fn run<F>(&self, make_policy: F) -> FleetReport
     where
         F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
+        self.run_mixed(|index, spec| SubstratePolicies::cpu_only(make_policy(index, spec)))
+    }
+
+    /// Streams the fleet through a [`ScenarioDriver`] serving the full
+    /// per-substrate policy bundle from `make_policies` — the heterogeneous
+    /// entry point: CPU DVFS, GPU power management and NoC latency throttling
+    /// all route through the same worker pool, and the report's
+    /// [`FamilyTelemetry::substrate_energy_j`] carries the cross-substrate
+    /// energy split.
+    pub fn run_mixed<F>(&self, make_policies: F) -> FleetReport
+    where
+        F: Fn(usize, &ScenarioSpec) -> SubstratePolicies + Sync,
     {
         let mut driver =
             ScenarioDriver::new(self.platform.clone(), self.workers).with_clock(self.clock.clone());
@@ -704,7 +821,7 @@ impl FleetStress {
         if let Some(queueing) = self.queueing {
             source = source.with_queueing(queueing.user_slots);
         }
-        let (telemetry, records) = driver.run_recorded(&source, &make_policy);
+        let (telemetry, records) = driver.run_recorded_mixed(&source, &make_policies);
         let queueing = self
             .queueing
             .and_then(|config| QueueReport::from_records(&records, config.user_slots));
@@ -723,6 +840,8 @@ impl FleetStress {
                 busy_fraction: 0.0,
                 mean_sojourn_s: 0.0,
                 p95_sojourn_s: 0.0,
+                substrate_decisions: [0; 3],
+                substrate_energy_j: [0.0; 3],
                 oracle_agreement: None,
             })
             .collect();
@@ -734,8 +853,13 @@ impl FleetStress {
             let family = &mut families[slot];
             family.scenarios += 1;
             family.decisions += record.decisions.len();
-            family.energy_j += record.decisions.iter().map(|d| d.energy_j).sum::<f64>();
-            family.time_s += record.decisions.iter().map(|d| d.time_s).sum::<f64>();
+            for decision in &record.decisions {
+                let lane = decision.kind().lane();
+                family.substrate_decisions[lane] += 1;
+                family.substrate_energy_j[lane] += decision.energy_j();
+                family.energy_j += decision.energy_j();
+                family.time_s += decision.service_time_s();
+            }
             if let Some(stamp) = &record.queue {
                 family.service_s += stamp.service_ns as f64 / 1e9;
                 family_sojourns[slot].push(stamp.sojourn_ns());
@@ -746,8 +870,9 @@ impl FleetStress {
             }
         }
         for ((family, &matched), &scored) in families.iter_mut().zip(&matches).zip(&scored) {
-            if scored && family.decisions > 0 {
-                family.oracle_agreement = Some(matched as f64 / family.decisions as f64);
+            let cpu_decisions = family.substrate_decisions[DecisionKind::Cpu.lane()];
+            if scored && cpu_decisions > 0 {
+                family.oracle_agreement = Some(matched as f64 / cpu_decisions as f64);
             }
         }
         if let Some(report) = &queueing {
@@ -781,6 +906,42 @@ impl FleetStress {
         let platform = self.platform.clone();
         let ondemand = self.run(|_, _| Box::new(OndemandGovernor::new(&platform)));
         let interactive = self.run(|_, _| Box::new(InteractiveGovernor::new()));
+        let deltas = [&ondemand, &interactive].map(|baseline| {
+            policy_report
+                .families
+                .iter()
+                .zip(&baseline.families)
+                .map(|(p, b)| FamilyEnergyDelta {
+                    family: p.family.clone(),
+                    policy_energy_j: p.energy_j,
+                    baseline_energy_j: b.energy_j,
+                })
+                .collect()
+        });
+        (policy_report, [ondemand, interactive], deltas)
+    }
+
+    /// Mixed-substrate analogue of [`FleetStress::run_against_governors`]:
+    /// runs the policy fleet from `make_policies`, then two all-governor
+    /// baseline fleets over the identical scenario stream — *ondemand* and
+    /// *interactive* on the CPU, each paired with the GPU utilisation
+    /// governor and the analytical NoC latency model (the per-substrate
+    /// governor baselines).  Energy deltas compare total cross-substrate
+    /// energy per family.
+    pub fn run_mixed_against_governors<F>(
+        &self,
+        make_policies: F,
+    ) -> (FleetReport, [FleetReport; 2], [Vec<FamilyEnergyDelta>; 2])
+    where
+        F: Fn(usize, &ScenarioSpec) -> SubstratePolicies + Sync,
+    {
+        let policy_report = self.run_mixed(make_policies);
+        let platform = self.platform.clone();
+        let ondemand = self.run_mixed(|_, _| {
+            SubstratePolicies::cpu_only(Box::new(OndemandGovernor::new(&platform)))
+        });
+        let interactive = self
+            .run_mixed(|_, _| SubstratePolicies::cpu_only(Box::new(InteractiveGovernor::new())));
         let deltas = [&ondemand, &interactive].map(|baseline| {
             policy_report
                 .families
@@ -845,6 +1006,74 @@ mod tests {
         let bursty = ArrivalSchedule::Bursty { burst: 3, gap: Duration::from_millis(4) };
         assert_eq!(bursty.arrival_offset(0, 10), bursty.arrival_offset(2, 10));
         assert!(bursty.arrival_offset(3, 10) > bursty.arrival_offset(2, 10));
+    }
+
+    #[test]
+    fn arrival_plan_is_bitwise_equal_to_the_reference_at_any_query_order() {
+        let schedules = [
+            ArrivalSchedule::Immediate,
+            ArrivalSchedule::Constant { interval: Duration::from_millis(2) },
+            ArrivalSchedule::Bursty { burst: 3, gap: Duration::from_millis(4) },
+            ArrivalSchedule::Ramp {
+                start: Duration::from_millis(4),
+                end: Duration::from_millis(1),
+            },
+            ArrivalSchedule::Diurnal {
+                period: Duration::from_secs(60),
+                peak: Duration::from_millis(5),
+                off_peak: Duration::from_secs(2),
+            },
+            ArrivalSchedule::Markov {
+                calm: Duration::from_secs(1),
+                storm: Duration::from_millis(10),
+                persistence: 0.8,
+                seed: 7,
+            },
+        ];
+        let total = 200;
+        for schedule in schedules {
+            let plan = ArrivalPlan::new(schedule, total);
+            // Query backwards first (worst case for a prefix cache), then
+            // forwards, then randomly-ish; every answer must equal the pure
+            // reference to the bit, including the Duration's nanosecond part.
+            for index in (0..total).rev() {
+                assert_eq!(
+                    plan.offset(index),
+                    schedule.arrival_offset(index, total),
+                    "{schedule:?} diverges at reverse query {index}"
+                );
+            }
+            for index in 0..total {
+                assert_eq!(plan.offset(index), schedule.arrival_offset(index, total));
+            }
+            for index in [97, 3, 150, 0, 199, 42] {
+                assert_eq!(plan.offset(index), schedule.arrival_offset(index, total));
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_schedules_stay_linear_through_the_plan() {
+        // 20k diurnal arrivals: the memoised plan answers the full fleet in
+        // well under a second where the O(n²) reference walk would not.
+        let schedule = ArrivalSchedule::Diurnal {
+            period: Duration::from_secs(24 * 3_600),
+            peak: Duration::from_millis(50),
+            off_peak: Duration::from_secs(30),
+        };
+        let total = 20_000;
+        let plan = ArrivalPlan::new(schedule, total);
+        let started = Instant::now();
+        let mut last = Duration::ZERO;
+        for index in 0..total {
+            last = plan.offset(index);
+        }
+        assert!(last > Duration::ZERO);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "memoised plan must be O(n) over the fleet, took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]
@@ -1016,10 +1245,53 @@ mod tests {
         let services: Vec<u64> = stamps.iter().map(|s| s.service_ns).collect();
         assert_eq!(stamps, fifo_stamps(&arrivals, &services, slots));
         // Dilation 2.0: service is twice the simulated time, to rounding.
-        let simulated: f64 =
-            report.records.iter().flat_map(|r| r.decisions.iter().map(|d| d.time_s)).sum();
+        let simulated: f64 = report
+            .records
+            .iter()
+            .flat_map(|r| r.decisions.iter().map(SubstrateDecision::service_time_s))
+            .sum();
         let service: f64 = services.iter().sum::<u64>() as f64 / 1e9;
         assert!((service - 2.0 * simulated).abs() < 1e-6 * service.max(1.0));
+    }
+
+    #[test]
+    fn mixed_fleet_reports_the_cross_substrate_energy_split() {
+        let platform = SocPlatform::small();
+        let fleet =
+            FleetStress::new(platform.clone(), ScenarioGenerator::heterogeneous(5, 8), 7, 2)
+                .with_clock(Clock::virtual_clock());
+        let report = fleet.run_mixed(|_, _| {
+            SubstratePolicies::learned(Box::new(OndemandGovernor::new(&platform)))
+        });
+        assert_eq!(report.families.len(), 7);
+        assert_eq!(report.telemetry.scenarios, 7);
+
+        let graphics = report.family("graphics-burst").expect("gpu family served");
+        assert_eq!(graphics.substrate_decisions[DecisionKind::Cpu.lane()], 0);
+        assert!(graphics.substrate_decisions[DecisionKind::Gpu.lane()] > 0);
+        assert!(graphics.substrate_energy_j[DecisionKind::Gpu.lane()] > 0.0);
+        assert!(graphics.oracle_agreement.is_none(), "no CPU decisions to score");
+
+        let mesh = report.family("mesh-monitor").expect("noc family served");
+        assert!(mesh.substrate_decisions[DecisionKind::Noc.lane()] > 0);
+        assert!(mesh.substrate_energy_j[DecisionKind::Noc.lane()] > 0.0);
+
+        let hetero = report.family("hetero-pipeline").expect("mixed family served");
+        assert!(hetero.substrate_decisions.iter().all(|&d| d > 0), "all three substrates served");
+        let split_sum: f64 = hetero.substrate_energy_j.iter().sum();
+        assert!(
+            (split_sum - hetero.energy_j).abs() <= 1e-12 * hetero.energy_j.abs().max(1.0),
+            "substrate split must account for the family total"
+        );
+
+        // Pure-CPU families keep all energy in the CPU lane.
+        let cpu = report.family("bursty-compute").expect("cpu family served");
+        assert_eq!(cpu.substrate_decisions[DecisionKind::Gpu.lane()], 0);
+        assert_eq!(cpu.substrate_energy_j[DecisionKind::Cpu.lane()], cpu.energy_j);
+
+        // Driver-level lanes agree with the family aggregation.
+        let lane_total: f64 = report.telemetry.substrates.iter().map(|l| l.energy_j).sum();
+        assert!((lane_total - report.telemetry.total_energy_j).abs() <= 1e-9 * lane_total.max(1.0));
     }
 
     #[test]
@@ -1048,7 +1320,7 @@ mod tests {
         let telemetry =
             driver.run_stream(&source, |_, _| Box::new(OndemandGovernor::new(&platform)));
         assert_eq!(telemetry.scenarios, 8);
-        let expected: usize = (0..8).map(|i| generator.scenario(i).profiles.len()).sum();
+        let expected: usize = (0..8).map(|i| generator.scenario(i).decision_count()).sum();
         assert_eq!(telemetry.decisions, expected);
     }
 

@@ -1,69 +1,60 @@
 //! Versioned JSONL trace record/replay.
 //!
 //! A trace is the full per-decision story of a [`ScenarioDriver`] run: for
-//! every decision the snippet profile, the configuration the policy chose, the
-//! thermal state the decision was made at, and the telemetry the simulator
-//! produced.  The format is line-oriented JSON (JSONL):
+//! every decision the work it served (CPU snippet, GPU frame or NoC
+//! monitoring window), the configuration the policy chose, and the telemetry
+//! the simulator produced.  The format is line-oriented JSON (JSONL):
 //!
 //! ```text
-//! {"format":"soclearn-trace","version":2,"scenarios":2}
+//! {"format":"soclearn-trace","version":3,"scenarios":2}
 //! {"scenario":{"index":0,"name":"user-0","policy":"ondemand","oracle_matches":null,"queue":{"arrival":0,"start":0,"completion":120000,"service":120000},"decisions":3}}
-//! {"i":0,"profile":{...},"little":0,"big":3,"big_temp":4631166901565532406,...}
+//! {"i":0,"kind":"cpu","profile":{...},"little":0,"big":3,"big_temp":4631166901565532406,...}
+//! {"i":1,"kind":"gpu","demand":{...},"deadline":...,"slices":3,"freq":2,...}
+//! {"i":2,"kind":"noc","mesh":[4,4],"pattern":"uniform","seed":...,...}
 //! ...
 //! ```
 //!
 //! Version 2 added the scenario-level `queue` member: the enqueue (arrival),
 //! dequeue (service start), completion and service-duration timestamps of the
 //! fleet harness's per-user FIFO queueing model, in integer nanoseconds on
-//! the fleet's virtual timeline (`null` for runs without queueing).  The
-//! parser still reads version-1 traces — they simply carry no queue stamps —
-//! so recordings committed before the bump replay unchanged.
+//! the fleet's virtual timeline (`null` for runs without queueing).  Version
+//! 3 made decision lines kind-tagged so heterogeneous scenarios record GPU
+//! frame decisions and NoC monitoring windows next to CPU snippets; a line
+//! without a `kind` member is a CPU decision, which is how v1/v2 traces —
+//! CPU-only by construction — still parse unchanged.
 //!
 //! Every `f64` is stored as its IEEE-754 **bit pattern** (a `u64`), so a
 //! parsed trace is bit-identical to the recorded one — no decimal round-trip
-//! is involved — and [`replay`] can re-execute the recorded decisions on a
-//! fresh simulator and verify it reproduces the recorded telemetry
-//! bit-for-bit (the simulator is deterministic, so exact-mode recordings
-//! always replay bit-identically).  [`TraceDiff`] compares two runs over the
-//! same snippet stream, the tool for "what did policy B do differently on
-//! this exact workload?".
+//! is involved — and [`replay`] can re-execute the recorded decisions on
+//! fresh simulators and verify it reproduces the recorded telemetry
+//! bit-for-bit (the simulators are deterministic, so exact-mode recordings
+//! always replay bit-identically).  CPU and GPU decisions replay in recorded
+//! order on one fresh simulator each (thermal and DVFS-transition state carry
+//! across decisions); NoC windows carry their own derived simulator seed, so
+//! each replays independently.  [`TraceDiff`] compares two runs over the same
+//! work stream, the tool for "what did policy B do differently on this exact
+//! workload?".
 //!
 //! [`ScenarioDriver`]: soclearn_runtime::ScenarioDriver
 
 use std::fmt;
 
-use soclearn_runtime::{DecisionRecord, QueueStamp, ScenarioRecord};
+use soclearn_runtime::{
+    replay_noc_window, DecisionRecord, FrameDemand, GpuConfig, GpuDecisionRecord, GpuReplayer,
+    MeshConfig, NocDecisionRecord, QueueStamp, ScenarioRecord, SubstrateDecision, SubstrateRecord,
+    TrafficPattern,
+};
 use soclearn_soc_sim::{DvfsConfig, SnippetCounters, SocPlatform, SocSimulator};
 use soclearn_workloads::{SnippetPhase, SnippetProfile};
 
 use crate::json::{parse, JsonError, JsonValue};
 
 /// Version of the trace format this module writes.
-pub const TRACE_VERSION: u32 = 2;
+pub const TRACE_VERSION: u32 = 3;
 
-/// Oldest trace version the parser still reads (v1 lacks queue stamps).
+/// Oldest trace version the parser still reads (v1 lacks queue stamps; v1 and
+/// v2 lack decision kinds and are implicitly CPU-only).
 pub const OLDEST_READABLE_TRACE_VERSION: u32 = 1;
-
-/// One decision of a recorded scenario.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TraceDecision {
-    /// Snippet index within the scenario.
-    pub index: usize,
-    /// The snippet that executed.
-    pub profile: SnippetProfile,
-    /// Configuration the policy chose.
-    pub config: DvfsConfig,
-    /// Big-cluster temperature (°C) when the snippet started.
-    pub big_temp_c: f64,
-    /// LITTLE-cluster temperature (°C) when the snippet started.
-    pub little_temp_c: f64,
-    /// Energy of the snippet, joules.
-    pub energy_j: f64,
-    /// Execution time of the snippet, seconds.
-    pub time_s: f64,
-    /// Counters observed while the snippet executed.
-    pub counters: SnippetCounters,
-}
 
 /// One recorded scenario: a named decision stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,26 +68,29 @@ pub struct ScenarioTrace {
     /// Oracle-agreement matches, when the driver ran with a reference.
     pub oracle_matches: Option<usize>,
     /// Queueing timestamps on the fleet's virtual timeline, when the run used
-    /// service-time queueing (format v2; v1 traces never carry them).
+    /// service-time queueing (format v2+; v1 traces never carry them).
     pub queue: Option<QueueStamp>,
-    /// The decisions in execution order.
-    pub decisions: Vec<TraceDecision>,
+    /// The kind-tagged decisions in execution order.
+    pub decisions: Vec<SubstrateRecord>,
 }
 
 impl ScenarioTrace {
-    /// Total recorded energy, joules.
+    /// Total recorded energy across all substrates, joules.
     pub fn total_energy_j(&self) -> f64 {
-        self.decisions.iter().map(|d| d.energy_j).sum()
+        self.decisions.iter().map(SubstrateDecision::energy_j).sum()
     }
 
-    /// Total recorded execution time, seconds.
+    /// Total recorded execution time across all substrates, seconds.
     pub fn total_time_s(&self) -> f64 {
-        self.decisions.iter().map(|d| d.time_s).sum()
+        self.decisions.iter().map(SubstrateDecision::service_time_s).sum()
     }
 
-    /// The recorded snippet stream.
+    /// The recorded CPU snippet stream (empty for GPU/NoC-only scenarios).
     pub fn profiles(&self) -> Vec<SnippetProfile> {
-        self.decisions.iter().map(|d| d.profile.clone()).collect()
+        self.decisions
+            .iter()
+            .filter_map(|d| d.as_cpu().map(|d| d.profile.clone()))
+            .collect()
     }
 }
 
@@ -150,6 +144,23 @@ fn phase_from(name: &str) -> Option<SnippetPhase> {
     SnippetPhase::ALL.into_iter().find(|&p| phase_name(p) == name)
 }
 
+fn pattern_name(pattern: TrafficPattern) -> &'static str {
+    match pattern {
+        TrafficPattern::Uniform => "uniform",
+        TrafficPattern::Hotspot => "hotspot",
+        TrafficPattern::Transpose => "transpose",
+    }
+}
+
+fn pattern_from(name: &str) -> Option<TrafficPattern> {
+    match name {
+        "uniform" => Some(TrafficPattern::Uniform),
+        "hotspot" => Some(TrafficPattern::Hotspot),
+        "transpose" => Some(TrafficPattern::Transpose),
+        _ => None,
+    }
+}
+
 /// Field order of the `counters` bit array, part of the v1 format.
 const COUNTER_FIELDS: usize = 9;
 
@@ -181,21 +192,6 @@ fn counters_from_bits(bits: &[u64; COUNTER_FIELDS]) -> SnippetCounters {
     }
 }
 
-impl From<&DecisionRecord> for TraceDecision {
-    fn from(record: &DecisionRecord) -> Self {
-        Self {
-            index: record.index,
-            profile: record.profile.clone(),
-            config: record.config,
-            big_temp_c: record.big_temp_c,
-            little_temp_c: record.little_temp_c,
-            energy_j: record.energy_j,
-            time_s: record.time_s,
-            counters: record.counters,
-        }
-    }
-}
-
 impl From<&ScenarioRecord> for ScenarioTrace {
     fn from(record: &ScenarioRecord) -> Self {
         Self {
@@ -204,7 +200,7 @@ impl From<&ScenarioRecord> for ScenarioTrace {
             policy: record.policy.clone(),
             oracle_matches: record.oracle_matches,
             queue: record.queue,
-            decisions: record.decisions.iter().map(TraceDecision::from).collect(),
+            decisions: record.decisions.clone(),
         }
     }
 }
@@ -241,29 +237,12 @@ impl Trace {
                 queue,
                 scenario.decisions.len()
             ));
-            for d in &scenario.decisions {
-                let p = &d.profile;
-                let counters = counters_bits(&d.counters);
-                out.push_str(&format!(
-                    "{{\"i\":{},\"profile\":{{\"instructions\":{},\"phase\":\"{}\",\"memory_access_fraction\":{},\"l2_mpki\":{},\"external_memory_fraction\":{},\"branch_misprediction_pki\":{},\"ilp\":{},\"thread_count\":{},\"parallel_fraction\":{}}},\"little\":{},\"big\":{},\"big_temp\":{},\"little_temp\":{},\"energy\":{},\"time\":{},\"counters\":[{}]}}\n",
-                    d.index,
-                    p.instructions,
-                    phase_name(p.phase),
-                    p.memory_access_fraction.to_bits(),
-                    p.l2_mpki.to_bits(),
-                    p.external_memory_fraction.to_bits(),
-                    p.branch_misprediction_pki.to_bits(),
-                    p.ilp.to_bits(),
-                    p.thread_count,
-                    p.parallel_fraction.to_bits(),
-                    d.config.little_idx,
-                    d.config.big_idx,
-                    d.big_temp_c.to_bits(),
-                    d.little_temp_c.to_bits(),
-                    d.energy_j.to_bits(),
-                    d.time_s.to_bits(),
-                    counters.map(|b| b.to_string()).join(","),
-                ));
+            for decision in &scenario.decisions {
+                match decision {
+                    SubstrateRecord::Cpu(d) => encode_cpu(&mut out, d),
+                    SubstrateRecord::Gpu(d) => encode_gpu(&mut out, d),
+                    SubstrateRecord::Noc(d) => encode_noc(&mut out, d),
+                }
             }
         }
         out
@@ -332,7 +311,7 @@ impl Trace {
                             .ok_or_else(|| format_err(line_no, "bad oracle_matches"))?,
                     ),
                 },
-                // v1 scenario headers have no queue member; v2 may carry null.
+                // v1 scenario headers have no queue member; v2+ may carry null.
                 queue: match header.get("queue") {
                     Some(JsonValue::Null) | None => None,
                     Some(value) => Some(QueueStamp {
@@ -362,6 +341,69 @@ impl Trace {
     }
 }
 
+fn encode_cpu(out: &mut String, d: &DecisionRecord) {
+    let p = &d.profile;
+    let counters = counters_bits(&d.counters);
+    out.push_str(&format!(
+        "{{\"i\":{},\"kind\":\"cpu\",\"profile\":{{\"instructions\":{},\"phase\":\"{}\",\"memory_access_fraction\":{},\"l2_mpki\":{},\"external_memory_fraction\":{},\"branch_misprediction_pki\":{},\"ilp\":{},\"thread_count\":{},\"parallel_fraction\":{}}},\"little\":{},\"big\":{},\"big_temp\":{},\"little_temp\":{},\"energy\":{},\"time\":{},\"counters\":[{}]}}\n",
+        d.index,
+        p.instructions,
+        phase_name(p.phase),
+        p.memory_access_fraction.to_bits(),
+        p.l2_mpki.to_bits(),
+        p.external_memory_fraction.to_bits(),
+        p.branch_misprediction_pki.to_bits(),
+        p.ilp.to_bits(),
+        p.thread_count,
+        p.parallel_fraction.to_bits(),
+        d.config.little_idx,
+        d.config.big_idx,
+        d.big_temp_c.to_bits(),
+        d.little_temp_c.to_bits(),
+        d.energy_j.to_bits(),
+        d.time_s.to_bits(),
+        counters.map(|b| b.to_string()).join(","),
+    ));
+}
+
+fn encode_gpu(out: &mut String, d: &GpuDecisionRecord) {
+    out.push_str(&format!(
+        "{{\"i\":{},\"kind\":\"gpu\",\"demand\":{{\"work\":{},\"parallel\":{},\"memory\":{}}},\"deadline\":{},\"slices\":{},\"freq\":{},\"energy\":{},\"time\":{},\"power\":{},\"util\":{},\"met\":{}}}\n",
+        d.index,
+        d.demand.work_cycles.to_bits(),
+        d.demand.parallel_fraction.to_bits(),
+        d.demand.memory_accesses.to_bits(),
+        d.deadline_s.to_bits(),
+        d.config.active_slices,
+        d.config.freq_idx,
+        d.energy_j.to_bits(),
+        d.time_s.to_bits(),
+        d.gpu_power_w.to_bits(),
+        d.utilization.to_bits(),
+        d.deadline_met,
+    ));
+}
+
+fn encode_noc(out: &mut String, d: &NocDecisionRecord) {
+    out.push_str(&format!(
+        "{{\"i\":{},\"kind\":\"noc\",\"mesh\":[{},{}],\"pattern\":\"{}\",\"seed\":{},\"cycles\":{},\"offered\":{},\"rate\":{},\"predicted\":{},\"analytical\":{},\"measured\":{},\"delivered\":{},\"energy\":{},\"time\":{}}}\n",
+        d.index,
+        d.mesh.width,
+        d.mesh.height,
+        pattern_name(d.pattern),
+        d.seed,
+        d.cycles,
+        d.offered_rate.to_bits(),
+        d.injection_rate.to_bits(),
+        d.predicted_latency_cycles.to_bits(),
+        d.analytical_latency_cycles.to_bits(),
+        d.measured_latency_cycles.to_bits(),
+        d.packets_delivered,
+        d.energy_j.to_bits(),
+        d.time_s.to_bits(),
+    ));
+}
+
 fn format_err(line: usize, message: &str) -> TraceError {
     TraceError::Format { line, message: message.to_owned() }
 }
@@ -381,8 +423,19 @@ fn field_f64_bits(value: &JsonValue, key: &str, line: usize) -> Result<f64, Trac
     Ok(f64::from_bits(field_u64(value, key, line)?))
 }
 
-fn parse_decision(line: usize, raw: &str) -> Result<TraceDecision, TraceError> {
+fn parse_decision(line: usize, raw: &str) -> Result<SubstrateRecord, TraceError> {
     let value = parse_line(line, raw)?;
+    // v1/v2 decision lines carry no kind member: they predate heterogeneous
+    // serving, so they are CPU decisions.
+    match value.get("kind").and_then(JsonValue::as_str) {
+        None | Some("cpu") => parse_cpu_decision(&value, line).map(SubstrateRecord::Cpu),
+        Some("gpu") => parse_gpu_decision(&value, line).map(SubstrateRecord::Gpu),
+        Some("noc") => parse_noc_decision(&value, line).map(SubstrateRecord::Noc),
+        Some(other) => Err(format_err(line, &format!("unknown decision kind '{other}'"))),
+    }
+}
+
+fn parse_cpu_decision(value: &JsonValue, line: usize) -> Result<DecisionRecord, TraceError> {
     let profile = value
         .get("profile")
         .ok_or_else(|| format_err(line, "decision missing profile"))?;
@@ -415,18 +468,79 @@ fn parse_decision(line: usize, raw: &str) -> Result<TraceDecision, TraceError> {
     for (slot, value) in bits.iter_mut().zip(counters_raw) {
         *slot = value.as_u64().ok_or_else(|| format_err(line, "bad counter bits"))?;
     }
-    Ok(TraceDecision {
-        index: field_u64(&value, "i", line)? as usize,
+    Ok(DecisionRecord {
+        index: field_u64(value, "i", line)? as usize,
         profile,
         config: DvfsConfig::new(
-            field_u64(&value, "little", line)? as usize,
-            field_u64(&value, "big", line)? as usize,
+            field_u64(value, "little", line)? as usize,
+            field_u64(value, "big", line)? as usize,
         ),
-        big_temp_c: field_f64_bits(&value, "big_temp", line)?,
-        little_temp_c: field_f64_bits(&value, "little_temp", line)?,
-        energy_j: field_f64_bits(&value, "energy", line)?,
-        time_s: field_f64_bits(&value, "time", line)?,
+        big_temp_c: field_f64_bits(value, "big_temp", line)?,
+        little_temp_c: field_f64_bits(value, "little_temp", line)?,
+        energy_j: field_f64_bits(value, "energy", line)?,
+        time_s: field_f64_bits(value, "time", line)?,
         counters: counters_from_bits(&bits),
+    })
+}
+
+fn parse_gpu_decision(value: &JsonValue, line: usize) -> Result<GpuDecisionRecord, TraceError> {
+    let demand = value
+        .get("demand")
+        .ok_or_else(|| format_err(line, "gpu decision missing demand"))?;
+    Ok(GpuDecisionRecord {
+        index: field_u64(value, "i", line)? as usize,
+        // Literal construction: the clamping constructor must not run on the
+        // restored bit patterns.
+        demand: FrameDemand {
+            work_cycles: field_f64_bits(demand, "work", line)?,
+            parallel_fraction: field_f64_bits(demand, "parallel", line)?,
+            memory_accesses: field_f64_bits(demand, "memory", line)?,
+        },
+        deadline_s: field_f64_bits(value, "deadline", line)?,
+        config: GpuConfig {
+            active_slices: field_u64(value, "slices", line)? as u32,
+            freq_idx: field_u64(value, "freq", line)? as usize,
+        },
+        energy_j: field_f64_bits(value, "energy", line)?,
+        time_s: field_f64_bits(value, "time", line)?,
+        gpu_power_w: field_f64_bits(value, "power", line)?,
+        utilization: field_f64_bits(value, "util", line)?,
+        deadline_met: value
+            .get("met")
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| format_err(line, "gpu decision missing met"))?,
+    })
+}
+
+fn parse_noc_decision(value: &JsonValue, line: usize) -> Result<NocDecisionRecord, TraceError> {
+    let mesh = value
+        .get("mesh")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format_err(line, "noc decision missing mesh"))?;
+    if mesh.len() != 2 {
+        return Err(format_err(line, "mesh must be [width,height]"));
+    }
+    let width = mesh[0].as_usize().ok_or_else(|| format_err(line, "bad mesh width"))?;
+    let height = mesh[1].as_usize().ok_or_else(|| format_err(line, "bad mesh height"))?;
+    let pattern = value
+        .get("pattern")
+        .and_then(JsonValue::as_str)
+        .and_then(pattern_from)
+        .ok_or_else(|| format_err(line, "bad traffic pattern"))?;
+    Ok(NocDecisionRecord {
+        index: field_u64(value, "i", line)? as usize,
+        mesh: MeshConfig { width, height },
+        pattern,
+        seed: field_u64(value, "seed", line)?,
+        cycles: field_u64(value, "cycles", line)?,
+        offered_rate: field_f64_bits(value, "offered", line)?,
+        injection_rate: field_f64_bits(value, "rate", line)?,
+        predicted_latency_cycles: field_f64_bits(value, "predicted", line)?,
+        analytical_latency_cycles: field_f64_bits(value, "analytical", line)?,
+        measured_latency_cycles: field_f64_bits(value, "measured", line)?,
+        packets_delivered: field_u64(value, "delivered", line)? as usize,
+        energy_j: field_f64_bits(value, "energy", line)?,
+        time_s: field_f64_bits(value, "time", line)?,
     })
 }
 
@@ -446,9 +560,11 @@ pub struct ReplayReport {
 }
 
 /// Replays a recorded scenario deterministically: re-executes the recorded
-/// profiles at the recorded configurations on a fresh simulator for
-/// `platform`, comparing thermal state, energy, time and counters against the
-/// recording bit-for-bit.
+/// work at the recorded configurations, comparing the simulated telemetry
+/// against the recording bit-for-bit.  CPU decisions re-execute in order on a
+/// fresh [`SocSimulator`] for `platform`; GPU decisions re-render in order on
+/// a fresh GPU simulator (both carry state across decisions); each NoC
+/// window re-simulates independently from its recorded seed.
 ///
 /// An exact-serving recording replays bit-identically; a quantised-serving
 /// recording (whose executions were served from bucketed sweeps) reports its
@@ -456,21 +572,44 @@ pub struct ReplayReport {
 /// telemetry.
 pub fn replay(scenario: &ScenarioTrace, platform: &SocPlatform) -> ReplayReport {
     let mut sim = SocSimulator::new(platform.clone());
+    let mut gpu: Option<GpuReplayer> = None;
     let mut first_divergence = None;
     let mut total_energy_j = 0.0;
     let mut total_time_s = 0.0;
     for decision in &scenario.decisions {
-        let temps_match = sim.big_temperature_c().to_bits() == decision.big_temp_c.to_bits()
-            && sim.little_temperature_c().to_bits() == decision.little_temp_c.to_bits();
-        let result = sim.execute_snippet(&decision.profile, decision.config);
-        total_energy_j += result.energy_j;
-        total_time_s += result.time_s;
-        let matches = temps_match
-            && result.energy_j.to_bits() == decision.energy_j.to_bits()
-            && result.time_s.to_bits() == decision.time_s.to_bits()
-            && result.counters == decision.counters;
+        let matches = match decision {
+            SubstrateRecord::Cpu(d) => {
+                let temps_match = sim.big_temperature_c().to_bits() == d.big_temp_c.to_bits()
+                    && sim.little_temperature_c().to_bits() == d.little_temp_c.to_bits();
+                let result = sim.execute_snippet(&d.profile, d.config);
+                total_energy_j += result.energy_j;
+                total_time_s += result.time_s;
+                temps_match
+                    && result.energy_j.to_bits() == d.energy_j.to_bits()
+                    && result.time_s.to_bits() == d.time_s.to_bits()
+                    && result.counters == d.counters
+            }
+            SubstrateRecord::Gpu(d) => {
+                let outcome = gpu.get_or_insert_with(GpuReplayer::new).replay_frame(d);
+                total_energy_j += outcome.energy_j;
+                total_time_s += outcome.time_s;
+                outcome.energy_j.to_bits() == d.energy_j.to_bits()
+                    && outcome.time_s.to_bits() == d.time_s.to_bits()
+                    && outcome.gpu_power_w.to_bits() == d.gpu_power_w.to_bits()
+                    && outcome.utilization.to_bits() == d.utilization.to_bits()
+                    && outcome.deadline_met == d.deadline_met
+            }
+            SubstrateRecord::Noc(d) => {
+                let (latency, delivered, energy) = replay_noc_window(d);
+                total_energy_j += energy;
+                total_time_s += d.time_s;
+                latency.to_bits() == d.measured_latency_cycles.to_bits()
+                    && delivered == d.packets_delivered
+                    && energy.to_bits() == d.energy_j.to_bits()
+            }
+        };
         if !matches && first_divergence.is_none() {
-            first_divergence = Some(decision.index);
+            first_divergence = Some(decision.index());
         }
     }
     ReplayReport {
@@ -482,12 +621,13 @@ pub fn replay(scenario: &ScenarioTrace, platform: &SocPlatform) -> ReplayReport 
     }
 }
 
-/// Comparison of two policy runs over the same snippet stream.
+/// Comparison of two policy runs over the same work stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceDiff {
     /// Decisions compared (the shorter of the two runs).
     pub decisions: usize,
-    /// Whether both runs executed the identical snippet stream.
+    /// Whether both runs executed the identical work stream (same snippets,
+    /// frame demands and monitoring windows, kind for kind).
     pub profiles_match: bool,
     /// Decisions where the two runs chose different configurations.
     pub config_mismatches: usize,
@@ -503,6 +643,36 @@ pub struct TraceDiff {
     pub time_b_s: f64,
 }
 
+/// Whether two decisions served the same work (independent of the chosen
+/// configuration).
+fn work_matches(a: &SubstrateRecord, b: &SubstrateRecord) -> bool {
+    match (a, b) {
+        (SubstrateRecord::Cpu(x), SubstrateRecord::Cpu(y)) => x.profile == y.profile,
+        (SubstrateRecord::Gpu(x), SubstrateRecord::Gpu(y)) => {
+            x.demand == y.demand && x.deadline_s.to_bits() == y.deadline_s.to_bits()
+        }
+        (SubstrateRecord::Noc(x), SubstrateRecord::Noc(y)) => {
+            x.mesh == y.mesh
+                && x.pattern == y.pattern
+                && x.cycles == y.cycles
+                && x.offered_rate.to_bits() == y.offered_rate.to_bits()
+        }
+        _ => false,
+    }
+}
+
+/// Whether two decisions chose the same configuration.
+fn config_matches(a: &SubstrateRecord, b: &SubstrateRecord) -> bool {
+    match (a, b) {
+        (SubstrateRecord::Cpu(x), SubstrateRecord::Cpu(y)) => x.config == y.config,
+        (SubstrateRecord::Gpu(x), SubstrateRecord::Gpu(y)) => x.config == y.config,
+        (SubstrateRecord::Noc(x), SubstrateRecord::Noc(y)) => {
+            x.injection_rate.to_bits() == y.injection_rate.to_bits()
+        }
+        _ => false,
+    }
+}
+
 impl TraceDiff {
     /// Compares two recorded scenarios decision by decision.
     pub fn between(a: &ScenarioTrace, b: &ScenarioTrace) -> Self {
@@ -511,10 +681,10 @@ impl TraceDiff {
         let mut first_config_divergence = None;
         let mut profiles_match = a.decisions.len() == b.decisions.len();
         for (i, (da, db)) in a.decisions.iter().zip(&b.decisions).enumerate() {
-            if da.profile != db.profile {
+            if !work_matches(da, db) {
                 profiles_match = false;
             }
-            if da.config != db.config {
+            if !config_matches(da, db) {
                 config_mismatches += 1;
                 if first_config_divergence.is_none() {
                     first_config_divergence = Some(i);
@@ -560,7 +730,10 @@ impl TraceDiff {
 mod tests {
     use super::*;
     use soclearn_governors::OndemandGovernor;
-    use soclearn_runtime::{ScenarioDriver, ScenarioSpec, SliceSource};
+    use soclearn_runtime::{
+        GpuSessionSpec, NocSessionSpec, ScenarioDriver, ScenarioSpec, SliceSource,
+        SubstratePolicies, SubstrateWork,
+    };
 
     fn recorded_trace() -> (SocPlatform, Trace) {
         let platform = SocPlatform::small();
@@ -578,6 +751,35 @@ mod tests {
         let driver = ScenarioDriver::new(platform.clone(), 2);
         let (_, records) = driver.run_recorded(&SliceSource::new(&specs), |_, _| {
             Box::new(OndemandGovernor::new(&platform))
+        });
+        (platform, Trace::from_records(&records))
+    }
+
+    fn mixed_trace() -> (SocPlatform, Trace) {
+        let platform = SocPlatform::small();
+        let specs = vec![ScenarioSpec::with_segments(
+            "hetero",
+            vec![
+                SubstrateWork::Cpu(vec![SnippetProfile::compute_bound(40_000_000)]),
+                SubstrateWork::Gpu(GpuSessionSpec::new(
+                    vec![FrameDemand::new(2.0e9, 0.9, 3.0e7), FrameDemand::new(1.2e9, 0.85, 2.0e7)],
+                    30.0,
+                )),
+                SubstrateWork::Noc(NocSessionSpec {
+                    mesh: MeshConfig::new(4, 4),
+                    pattern: TrafficPattern::Hotspot,
+                    seed: 77,
+                    train_rates: vec![0.02, 0.06, 0.1],
+                    train_cycles: 3_000,
+                    query_rates: vec![0.05, 0.2],
+                    query_cycles: 2_000,
+                    latency_budget_cycles: 30.0,
+                }),
+            ],
+        )];
+        let driver = ScenarioDriver::new(platform.clone(), 1);
+        let (_, records) = driver.run_recorded_mixed(&SliceSource::new(&specs), |_, _| {
+            SubstratePolicies::learned(Box::new(OndemandGovernor::new(&platform)))
         });
         (platform, Trace::from_records(&records))
     }
@@ -605,9 +807,37 @@ mod tests {
     }
 
     #[test]
+    fn mixed_substrate_trace_round_trips_and_replays() {
+        let (platform, trace) = mixed_trace();
+        let scenario = &trace.scenarios[0];
+        assert_eq!(scenario.decisions.len(), 5);
+        assert_eq!(scenario.policy, "ondemand+gpu-nmpc+noc-svr");
+        assert!(scenario.decisions[0].as_cpu().is_some());
+        assert!(scenario.decisions[1].as_gpu().is_some());
+        assert!(scenario.decisions[4].as_noc().is_some());
+
+        let encoded = trace.to_jsonl();
+        assert!(encoded.contains("\"kind\":\"cpu\""));
+        assert!(encoded.contains("\"kind\":\"gpu\""));
+        assert!(encoded.contains("\"kind\":\"noc\""));
+        assert!(encoded.contains("\"pattern\":\"hotspot\""));
+        let decoded = Trace::from_jsonl(&encoded).expect("v3 mixed trace parses");
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.to_jsonl(), encoded, "re-encoding is byte-stable");
+
+        let report = replay(&decoded.scenarios[0], &platform);
+        assert!(report.bit_identical, "mixed replay diverged at {:?}", report.first_divergence);
+        let delta = (report.total_energy_j - scenario.total_energy_j()).abs();
+        assert_eq!(delta, 0.0);
+    }
+
+    #[test]
     fn replay_flags_a_tampered_recording() {
         let (platform, mut trace) = recorded_trace();
-        trace.scenarios[0].decisions[1].energy_j *= 1.5;
+        match &mut trace.scenarios[0].decisions[1] {
+            SubstrateRecord::Cpu(d) => d.energy_j *= 1.5,
+            _ => unreachable!("pure-CPU scenario"),
+        }
         let report = replay(&trace.scenarios[0], &platform);
         assert!(!report.bit_identical);
         assert_eq!(report.first_divergence, Some(1));
@@ -647,7 +877,7 @@ mod tests {
     }
 
     #[test]
-    fn queue_stamps_round_trip_through_v2() {
+    fn queue_stamps_round_trip_through_the_current_version() {
         let (_, mut trace) = recorded_trace();
         trace.scenarios[0].queue = Some(soclearn_runtime::QueueStamp {
             arrival_ns: 1_000,
@@ -657,32 +887,34 @@ mod tests {
         });
         // scenario[1] stays queue-less: Some and None must coexist in one file.
         let encoded = trace.to_jsonl();
-        assert!(encoded.starts_with("{\"format\":\"soclearn-trace\",\"version\":2"));
+        assert!(encoded.starts_with("{\"format\":\"soclearn-trace\",\"version\":3"));
         assert!(encoded.contains(
             "\"queue\":{\"arrival\":1000,\"start\":2500,\"completion\":9000,\"service\":6500}"
         ));
         assert!(encoded.contains("\"queue\":null"));
-        let decoded = Trace::from_jsonl(&encoded).expect("v2 round trip parses");
+        let decoded = Trace::from_jsonl(&encoded).expect("v3 round trip parses");
         assert_eq!(decoded, trace);
         assert_eq!(decoded.to_jsonl(), encoded);
     }
 
     #[test]
     fn reads_version_1_traces_without_queue_stamps() {
-        // A v1 trace is a v2 trace minus the queue member; synthesise one by
-        // downgrading the header and stripping the queue fields.
+        // A v1 trace is the current format minus the queue member and the
+        // decision kind tags; synthesise one by downgrading the header and
+        // stripping both.
         let (platform, trace) = recorded_trace();
         let v1: String = trace
             .to_jsonl()
             .lines()
             .map(|line| {
-                let line = line.replace("\"version\":2", "\"version\":1");
+                let line = line.replace("\"version\":3", "\"version\":1");
                 let line = line.replace(",\"queue\":null", "");
+                let line = line.replace("\"kind\":\"cpu\",", "");
                 format!("{line}\n")
             })
             .collect();
         let decoded = Trace::from_jsonl(&v1).expect("v1 traces still parse");
-        assert_eq!(decoded, trace, "queue-less v1 content decodes to the same trace");
+        assert_eq!(decoded, trace, "queue-less, kind-less v1 content decodes to the same trace");
         for scenario in &decoded.scenarios {
             assert!(scenario.queue.is_none());
             assert!(replay(scenario, &platform).bit_identical);

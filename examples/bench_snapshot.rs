@@ -21,12 +21,13 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use soclearn_core::prelude::*;
-use soclearn_runtime::{scaled_suite, sequence_of};
+use soclearn_runtime::{scaled_suite, sequence_of, SubstratePolicies};
 use soclearn_scenarios::Trace;
 use std::time::Duration;
 
-/// Schema version of the snapshot format (2: added the `queueing` section).
-const SCHEMA: u32 = 2;
+/// Schema version of the snapshot format (2: added the `queueing` section;
+/// 3: added the `multi_substrate` section).
+const SCHEMA: u32 = 3;
 /// Timed repetitions per measurement; the best (max throughput / min time)
 /// is reported.
 const REPS: usize = 3;
@@ -100,7 +101,7 @@ fn main() {
         let start = Instant::now();
         let scenarios = generator.scenarios(gen_count);
         gen_seconds = gen_seconds.min(start.elapsed().as_secs_f64());
-        snippets = scenarios.iter().map(|s| s.profiles.len()).sum();
+        snippets = scenarios.iter().map(|s| s.decision_count()).sum();
     }
     let scenarios_per_s = gen_count as f64 / gen_seconds;
     let small = SocPlatform::small();
@@ -150,6 +151,40 @@ fn main() {
         report.telemetry.decisions,
         fleet_wall_seconds * 1e3,
         report.telemetry.wall_seconds / fleet_wall_seconds.max(1e-9)
+    );
+
+    // Mixed-substrate serving: the heterogeneous seven-family fleet (CPU DVFS,
+    // GPU rendering bursts, NoC monitoring windows and interleaved sessions)
+    // with the learned per-substrate policies, on the virtual clock.  Reports
+    // fleet decision throughput and the cross-substrate energy split — the
+    // numbers the heterogeneous serving path is gated on.
+    let mut mixed_wall_seconds = f64::INFINITY;
+    let mut mixed_report = None;
+    for _ in 0..REPS {
+        let fleet =
+            FleetStress::new(small.clone(), ScenarioGenerator::heterogeneous(2020, 8), 21, 4)
+                .with_clock(Clock::virtual_clock());
+        let start = Instant::now();
+        let r = fleet
+            .run_mixed(|_, _| SubstratePolicies::learned(Box::new(OndemandGovernor::new(&small))));
+        mixed_wall_seconds = mixed_wall_seconds.min(start.elapsed().as_secs_f64());
+        mixed_report = Some(r);
+    }
+    let mixed = mixed_report.expect("at least one mixed-substrate rep");
+    let mixed_decisions_per_s = mixed.telemetry.decisions as f64 / mixed_wall_seconds.max(1e-9);
+    let lanes = &mixed.telemetry.substrates;
+    println!(
+        "multi_substrate: {} decisions (cpu {}, gpu {}, noc {}) in {:.1} ms wall — {:.0} decisions/s, \
+         energy split {:.2} J / {:.4} J / {:.6} J",
+        mixed.telemetry.decisions,
+        lanes[0].decisions,
+        lanes[1].decisions,
+        lanes[2].decisions,
+        mixed_wall_seconds * 1e3,
+        mixed_decisions_per_s,
+        lanes[0].energy_j,
+        lanes[1].energy_j,
+        lanes[2].energy_j,
     );
 
     // Service-time queueing: a saturated single-user constant-rate fleet on
@@ -218,6 +253,17 @@ fn main() {
     let _ = writeln!(json, "    \"simulated_hours\": {simulated_hours:.2},");
     let _ = writeln!(json, "    \"decisions\": {},", report.telemetry.decisions);
     let _ = writeln!(json, "    \"wall_ms\": {:.2}", fleet_wall_seconds * 1e3);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"multi_substrate\": {{");
+    let _ = writeln!(json, "    \"decisions\": {},", mixed.telemetry.decisions);
+    let _ = writeln!(json, "    \"cpu_decisions\": {},", lanes[0].decisions);
+    let _ = writeln!(json, "    \"gpu_decisions\": {},", lanes[1].decisions);
+    let _ = writeln!(json, "    \"noc_decisions\": {},", lanes[2].decisions);
+    let _ = writeln!(json, "    \"decisions_per_s\": {mixed_decisions_per_s:.1},");
+    let _ = writeln!(json, "    \"cpu_energy_j\": {:.6},", lanes[0].energy_j);
+    let _ = writeln!(json, "    \"gpu_energy_j\": {:.6},", lanes[1].energy_j);
+    let _ = writeln!(json, "    \"noc_energy_j\": {:.9},", lanes[2].energy_j);
+    let _ = writeln!(json, "    \"wall_ms\": {:.2}", mixed_wall_seconds * 1e3);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"queueing\": {{");
     let _ = writeln!(json, "    \"arrivals\": {},", queueing.arrivals);

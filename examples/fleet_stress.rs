@@ -26,12 +26,19 @@
 //! sojourn percentiles, fleet utilisation, backlog depth — and a second
 //! Markov calm/storm fleet breaks sojourns down by traffic regime.  With
 //! `--trace-out` the trace then carries the v2 queue stamps.
+//!
+//! `--substrates all` swaps the CPU-only generator for the heterogeneous
+//! seven-family mix — CPU DVFS scenarios, GPU eNMPC rendering sessions and
+//! learned-NoC latency windows, interleaved inside single scenarios — served
+//! by the full learned bundle (online-IL + eNMPC + SVR) against per-substrate
+//! governor baselines (utilisation-governed GPU, analytical NoC).  The
+//! recorded trace is then format v3 and still replays bit-identically.
 
 use std::time::{Duration, Instant};
 
 use soclearn_core::prelude::*;
 use soclearn_core::report::render_table;
-use soclearn_scenarios::Trace;
+use soclearn_scenarios::{ArrivalPlan, Trace};
 
 /// Dilation of the queueing demo: one simulated second of service occupies
 /// one virtual hour, so diurnal peak-phase arrivals (30 min apart) queue
@@ -43,17 +50,26 @@ const QUEUE_SLOTS: usize = 2;
 fn main() {
     let mut virtual_clock = false;
     let mut queueing = false;
+    let mut substrates_all = false;
     let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--virtual-clock" => virtual_clock = true,
             "--queueing" => queueing = true,
+            "--substrates" => {
+                match args.next().expect("--substrates needs a value (all|cpu)").as_str() {
+                    "all" => substrates_all = true,
+                    "cpu" => substrates_all = false,
+                    other => panic!("unknown --substrates value {other:?} (try all or cpu)"),
+                }
+            }
             "--trace-out" => {
                 trace_out = Some(args.next().expect("--trace-out needs a file path"));
             }
             other => panic!(
-                "unknown argument {other:?} (try --virtual-clock, --queueing, --trace-out PATH)"
+                "unknown argument {other:?} (try --virtual-clock, --queueing, \
+                 --substrates all, --trace-out PATH)"
             ),
         }
     }
@@ -64,11 +80,16 @@ fn main() {
     let workers = 4;
 
     let artifacts = shared_artifacts(&platform, scale);
-    let generator = ScenarioGenerator::standard(2020, 10);
+    let generator = if substrates_all {
+        ScenarioGenerator::heterogeneous(2020, 10)
+    } else {
+        ScenarioGenerator::standard(2020, 10)
+    };
     println!(
-        "Streaming {} users over {} generated families into {} workers ({})\n",
+        "Streaming {} users over {} generated families{} into {} workers ({})\n",
         users,
         generator.families().len(),
+        if substrates_all { " (CPU + GPU + NoC substrates)" } else { "" },
         workers,
         if virtual_clock { "24 h diurnal arrivals on a virtual clock" } else { "bursty arrivals" }
     );
@@ -100,14 +121,21 @@ fn main() {
         fleet = fleet.with_queueing(QueueingConfig::new(QUEUE_DILATION, QUEUE_SLOTS));
     }
     let wall = Instant::now();
-    let (il, [ondemand, interactive], [vs_ondemand, vs_interactive]) =
-        fleet.run_against_governors(|_, _| {
-            Box::new(artifacts.online_policy(OnlineIlConfig {
-                buffer_capacity: 15,
-                neighbourhood_radius: 2,
-                ..OnlineIlConfig::default()
-            }))
-        });
+    let online_il = |_: usize, _: &ScenarioSpec| -> Box<dyn DvfsPolicy + Send> {
+        Box::new(artifacts.online_policy(OnlineIlConfig {
+            buffer_capacity: 15,
+            neighbourhood_radius: 2,
+            ..OnlineIlConfig::default()
+        }))
+    };
+    let (il, [ondemand, interactive], [vs_ondemand, vs_interactive]) = if substrates_all {
+        // The learned bundle: online-IL on the CPU, explicit NMPC on the GPU,
+        // the SVR latency model on the NoC; governor fleets keep the
+        // per-substrate baselines (utilisation governor, analytical model).
+        fleet.run_mixed_against_governors(|i, s| SubstratePolicies::learned(online_il(i, s)))
+    } else {
+        fleet.run_against_governors(online_il)
+    };
     if virtual_clock {
         println!(
             "Virtual clock: {:.1} simulated hours of arrivals served in {:.0} ms of wall time.\n",
@@ -172,6 +200,34 @@ fn main() {
         ondemand.telemetry.total_energy_j,
         interactive.telemetry.total_energy_j,
     );
+
+    if substrates_all {
+        // Cross-substrate energy accounting: the learned bundle's lanes next
+        // to the governor-baseline fleet over the identical stream.
+        let lane_rows: Vec<Vec<String>> = il
+            .telemetry
+            .substrates
+            .iter()
+            .zip(&ondemand.telemetry.substrates)
+            .map(|(lane, base)| {
+                vec![
+                    format!("{:?}", lane.kind).to_lowercase(),
+                    format!("{}", lane.decisions),
+                    format!("{:.2}", lane.energy_j),
+                    format!("{:.2}", base.energy_j),
+                    format!("{:.2} s", lane.time_s),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Per-substrate serving (learned bundle vs governor baselines)",
+                &["Substrate", "Decisions", "Learned (J)", "Governor (J)", "Sim time"],
+                &lane_rows
+            )
+        );
+    }
 
     if queueing {
         print_queueing_tables(&il, &platform, workers);
@@ -283,6 +339,10 @@ fn print_queueing_tables(il: &FleetReport, platform: &SocPlatform, workers: usiz
     .with_clock(Clock::virtual_clock())
     .with_queueing(QueueingConfig::new(QUEUE_DILATION, 2))
     .run(|_, _| Box::new(OndemandGovernor::new(platform)));
+    // The memoised plan answers the per-record offset queries below in one
+    // linear pass instead of replaying the Markov chain from scratch for
+    // every record (2 × O(index) walks each).
+    let plan = ArrivalPlan::new(schedule, markov_users);
     let (mut calm_ns, mut storm_ns): (Vec<u64>, Vec<u64>) = (Vec::new(), Vec::new());
     for record in &report.records {
         let stamp = record.queue.expect("queueing stamps every record");
@@ -291,9 +351,7 @@ fn print_queueing_tables(il: &FleetReport, platform: &SocPlatform, workers: usiz
         let gap_s = if record.index == 0 {
             f64::INFINITY
         } else {
-            (schedule.arrival_offset(record.index, markov_users)
-                - schedule.arrival_offset(record.index - 1, markov_users))
-            .as_secs_f64()
+            (plan.offset(record.index) - plan.offset(record.index - 1)).as_secs_f64()
         };
         if gap_s <= 60.0 { &mut storm_ns } else { &mut calm_ns }.push(stamp.sojourn_ns());
     }

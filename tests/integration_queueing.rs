@@ -1,8 +1,9 @@
 //! Integration tests of service-time queueing in the virtual clock: Little's
 //! law consistency of the queue bookkeeping, utilisation tracking offered
 //! load from underload through saturation, bit-identical queueing telemetry
-//! at any worker count, and the trace layer — the committed v1 golden fixture
-//! still replaying bit-identically next to the v2 queue-stamp round trip.
+//! at any worker count, and the trace layer — the committed v1 and v2 golden
+//! fixtures still replaying bit-identically next to the queue-stamp round
+//! trip.
 
 use std::time::Duration;
 
@@ -202,6 +203,14 @@ fn queueing_telemetry_is_bit_identical_across_worker_counts() {
             report.telemetry.queue_delay, reference.telemetry.queue_delay,
             "{workers} workers"
         );
+        // With queueing stamps present, wall_seconds derives from the
+        // deterministic max-completion horizon, not the racy shared clock —
+        // bit-stable at any worker count.
+        assert_eq!(
+            report.telemetry.wall_seconds.to_bits(),
+            reference.telemetry.wall_seconds.to_bits(),
+            "{workers} workers: wall_seconds must come from the stamp horizon"
+        );
         // And the serialised v2 traces are byte-identical — the property the
         // CI determinism gate checks end to end.
         assert_eq!(
@@ -216,7 +225,7 @@ fn queueing_telemetry_is_bit_identical_across_worker_counts() {
 }
 
 /// The committed v1 golden trace still parses and replays bit-identically
-/// under the v2 code — pinning backward compatibility instead of implying it.
+/// under the v3 code — pinning backward compatibility instead of implying it.
 #[test]
 fn golden_v1_trace_still_replays_bit_identically() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/trace_v1.jsonl");
@@ -236,10 +245,43 @@ fn golden_v1_trace_still_replays_bit_identically() {
         );
     }
     // Re-encoding upgrades to the current version and still round-trips.
-    assert_eq!(TRACE_VERSION, 2);
+    assert_eq!(TRACE_VERSION, 3);
     let upgraded = trace.to_jsonl();
-    assert!(upgraded.starts_with("{\"format\":\"soclearn-trace\",\"version\":2"));
+    assert!(upgraded.starts_with("{\"format\":\"soclearn-trace\",\"version\":3"));
     assert_eq!(Trace::from_jsonl(&upgraded).expect("upgraded trace parses"), trace);
+}
+
+/// The committed v2 golden trace — queue stamps, kind-less CPU decision lines
+/// — still parses and replays bit-identically under the v3 code.
+#[test]
+fn golden_v2_trace_still_replays_bit_identically() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/trace_v2.jsonl");
+    let jsonl = std::fs::read_to_string(path).expect("committed golden fixture exists");
+    assert!(jsonl.starts_with("{\"format\":\"soclearn-trace\",\"version\":2"));
+    let trace = Trace::from_jsonl(&jsonl).expect("v2 golden trace parses");
+    assert_eq!(trace.scenarios.len(), 2);
+    assert!(trace.scenarios[0].name.starts_with("bursty-compute-"));
+    let platform = platform();
+    for scenario in &trace.scenarios {
+        assert!(scenario.queue.is_some(), "the v2 fixture was recorded with queueing");
+        let report = replay(scenario, &platform);
+        assert!(
+            report.bit_identical,
+            "golden v2 replay of {} diverged at {:?}",
+            scenario.name, report.first_divergence
+        );
+    }
+    // Re-encoding upgrades to v3 (kind-tagged decisions) and round-trips,
+    // with the queue stamps intact.
+    let upgraded = trace.to_jsonl();
+    assert!(upgraded.starts_with("{\"format\":\"soclearn-trace\",\"version\":3"));
+    assert!(upgraded.contains("\"kind\":\"cpu\""));
+    let reparsed = Trace::from_jsonl(&upgraded).expect("upgraded trace parses");
+    assert_eq!(reparsed, trace);
+    assert_eq!(
+        reparsed.scenarios[0].queue, trace.scenarios[0].queue,
+        "queue stamps survive the upgrade bit-for-bit"
+    );
 }
 
 /// v2 round trip over a queueing fleet: encode → decode → replay, with the

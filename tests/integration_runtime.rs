@@ -99,7 +99,7 @@ fn scenario_driver_telemetry_is_sane_under_four_workers() {
             ScenarioSpec::from_sequence(format!("user-{user}"), &sequence)
         })
         .collect();
-    let expected_decisions: usize = scenarios.iter().map(|s| s.profiles.len()).sum();
+    let expected_decisions: usize = scenarios.iter().map(|s| s.decision_count()).sum();
 
     let driver = ScenarioDriver::new(platform.clone(), 4)
         .with_cache(Arc::clone(artifacts.sweep_cache()))
