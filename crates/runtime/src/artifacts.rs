@@ -99,6 +99,13 @@ pub struct TrainingArtifacts {
     sweep_cache: Arc<SweepCache>,
     /// Memoised Oracle runs keyed by exact profile sequence.
     oracle_runs: Mutex<HashMap<ProfilesKey, Arc<OracleRun>>>,
+    /// Scale the artifacts were built at (telemetry label).
+    scale: ExperimentScale,
+    /// Wall-clock seconds the design-time build took.
+    build_wall_s: f64,
+    /// Oracle-run memo effectiveness counters.
+    oracle_memo_hits: AtomicUsize,
+    oracle_memo_misses: AtomicUsize,
 }
 
 impl TrainingArtifacts {
@@ -109,6 +116,7 @@ impl TrainingArtifacts {
     /// [`shared_artifacts`]) over calling this directly: the store makes the
     /// build once-per-process.
     pub fn build(platform: SocPlatform, scale: ExperimentScale) -> Self {
+        let build_started = std::time::Instant::now();
         let training = scaled_suite(SuiteKind::MiBench, scale);
         let training_profiles = profiles_of(&training);
         let sweep_cache = Arc::new(SweepCache::new());
@@ -130,7 +138,40 @@ impl TrainingArtifacts {
             pretrained_time,
             sweep_cache,
             oracle_runs: Mutex::new(HashMap::new()),
+            scale,
+            build_wall_s: build_started.elapsed().as_secs_f64(),
+            oracle_memo_hits: AtomicUsize::new(0),
+            oracle_memo_misses: AtomicUsize::new(0),
         }
+    }
+
+    /// Wall-clock seconds the design-time build took.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_wall_s
+    }
+
+    /// The scale the artifacts were built at.
+    pub fn scale(&self) -> ExperimentScale {
+        self.scale
+    }
+
+    /// Publishes build/memo telemetry into an observability registry: the
+    /// design-time build duration, Oracle-memo effectiveness and the shared
+    /// sweep cache's per-shard statistics, labelled by scale.
+    pub fn publish_stats(&self, registry: &soclearn_telemetry::TelemetryRegistry) {
+        let scale = self.scale.label();
+        let labels: [(&str, &str); 1] = [("scale", scale)];
+        registry.gauge("artifact_build_seconds", &labels).set(self.build_wall_s);
+        registry
+            .gauge("artifact_oracle_memo_hits", &labels)
+            .set(self.oracle_memo_hits.load(Ordering::Relaxed) as f64);
+        registry
+            .gauge("artifact_oracle_memo_misses", &labels)
+            .set(self.oracle_memo_misses.load(Ordering::Relaxed) as f64);
+        registry
+            .gauge("artifact_oracle_runs_cached", &labels)
+            .set(self.oracle_runs_cached() as f64);
+        self.sweep_cache.publish_stats(registry);
     }
 
     /// Builds the online-IL policy: the offline MLP policy plus clones of the
@@ -161,8 +202,10 @@ impl TrainingArtifacts {
     pub fn oracle_run(&self, profiles: &[SnippetProfile]) -> Arc<OracleRun> {
         let key = ProfilesKey::of(profiles);
         if let Some(run) = self.oracle_runs.lock().expect("oracle memo poisoned").get(&key) {
+            self.oracle_memo_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(run);
         }
+        self.oracle_memo_misses.fetch_add(1, Ordering::Relaxed);
         let mut engine = self.sweep_engine();
         let run = Arc::new(engine.oracle_run(profiles, OracleObjective::Energy));
         let mut memo = self.oracle_runs.lock().expect("oracle memo poisoned");

@@ -34,6 +34,9 @@ use soclearn_soc_sim::{
 use soclearn_workloads::{ApplicationSequence, SnippetProfile};
 
 use crate::clock::Clock;
+use crate::obs::Observability;
+use soclearn_telemetry::{LatencyHistogram, Span};
+
 use crate::substrate::{
     DecisionKind, GpuAdapter, NocModel, SubstrateDecision, SubstratePolicies, SubstrateRecord,
     SubstrateWork,
@@ -223,99 +226,6 @@ pub struct ScenarioRecord {
     pub decisions: Vec<SubstrateRecord>,
 }
 
-/// Number of power-of-two latency buckets (1 ns up to ~3 simulated days, so
-/// the same histogram covers nanosecond policy latencies and hour-scale
-/// virtual-time sojourns).
-const LATENCY_BUCKETS: usize = 48;
-
-/// Power-of-two histogram of nanosecond durations (per-decision policy
-/// latencies, queueing sojourns and delays).
-///
-/// Bucket `i` counts samples whose duration was in `[2^i, 2^(i+1))`
-/// nanoseconds; the last bucket absorbs everything slower.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; LATENCY_BUCKETS],
-    count: u64,
-    sum_ns: u64,
-    max_ns: u64,
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self { buckets: [0; LATENCY_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
-    }
-
-    /// Records one decision latency.
-    pub fn record(&mut self, latency_ns: u64) {
-        let bucket = (u64::BITS - latency_ns.max(1).leading_zeros() - 1) as usize;
-        self.buckets[bucket.min(LATENCY_BUCKETS - 1)] += 1;
-        self.count += 1;
-        self.sum_ns += latency_ns;
-        self.max_ns = self.max_ns.max(latency_ns);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// Number of recorded decisions.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in nanoseconds.
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.count as f64
-        }
-    }
-
-    /// Largest recorded latency in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Upper bound (bucket edge) of the latency at quantile `q ∈ [0, 1]`.
-    ///
-    /// The last bucket has no finite edge (it absorbs everything slower than
-    /// `2^47` ns), so quantiles landing there report the recorded maximum.
-    pub fn quantile_upper_bound_ns(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &bucket) in self.buckets.iter().enumerate() {
-            seen += bucket;
-            if seen >= rank {
-                return if i + 1 < LATENCY_BUCKETS { 1u64 << (i + 1) } else { self.max_ns };
-            }
-        }
-        self.max_ns
-    }
-
-    /// Per-bucket counts, for rendering.
-    pub fn buckets(&self) -> &[u64] {
-        &self.buckets
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 /// Per-substrate slice of the serving telemetry (cross-substrate energy
 /// accounting of a heterogeneous fleet).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -428,6 +338,9 @@ pub struct ScenarioDriver {
     /// Service-time mode: each decision advances the clock by its simulated
     /// `time_s` scaled by this dilation factor.
     service_dilation: Option<f64>,
+    /// Observability plane: metrics registry + span flight recorder. `None`
+    /// (the default) instruments nothing and costs nothing on the hot path.
+    obs: Option<Observability>,
 }
 
 impl ScenarioDriver {
@@ -446,7 +359,28 @@ impl ScenarioDriver {
             serving_cache: None,
             clock: Clock::wall(),
             service_dilation: None,
+            obs: None,
         }
+    }
+
+    /// Publishes serving telemetry into an [`Observability`] plane: per-run,
+    /// per-worker, per-substrate-lane and per-policy counters plus latency /
+    /// sojourn / queue-delay distributions into the registry, and per-scenario
+    /// spans into the span recorder.  Span timestamps follow the determinism
+    /// contract: under a wall clock the driver records live profiling spans
+    /// (worker tracks, racy by nature); under a virtual clock it records
+    /// spans **only** for scenarios with [`QueueStamp`]s, derived from the
+    /// schedule-relative stamps (user tracks), so the recorded span multiset
+    /// is bit-deterministic at any worker count.
+    #[must_use]
+    pub fn with_observability(mut self, obs: Observability) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The observability plane, when one was attached.
+    pub fn observability(&self) -> Option<&Observability> {
+        self.obs.as_ref()
     }
 
     /// Replaces the driver's time source (default: a wall clock).
@@ -708,7 +642,41 @@ impl ScenarioDriver {
             substrates,
             workers,
         };
+        if let Some(obs) = &self.obs {
+            Self::publish_run(obs, &telemetry);
+        }
         (telemetry, records)
+    }
+
+    /// Folds one run's aggregated telemetry into the observability plane:
+    /// run/lane/worker counters, throughput gauges, and the merged latency /
+    /// sojourn / queue-delay distributions (one histogram merge per run, so
+    /// the per-decision hot path stays untouched).
+    fn publish_run(obs: &Observability, telemetry: &DriverTelemetry) {
+        let reg = &obs.registry;
+        reg.counter("driver_runs_total", &[]).inc();
+        reg.counter("driver_scenarios_total", &[]).add(telemetry.scenarios as u64);
+        for lane in &telemetry.substrates {
+            reg.counter("driver_decisions_total", &[("substrate", lane.kind.label())])
+                .add(lane.decisions as u64);
+        }
+        for worker in &telemetry.workers {
+            reg.counter("driver_worker_decisions_total", &[("worker", &worker.worker.to_string())])
+                .add(worker.decisions as u64);
+        }
+        if let Some(agreement) = telemetry.oracle_agreement {
+            reg.gauge("driver_oracle_agreement", &[]).set(agreement);
+        }
+        reg.gauge("driver_decisions_per_second", &[])
+            .set(telemetry.decisions_per_second);
+        reg.gauge("driver_wall_seconds", &[]).set(telemetry.wall_seconds);
+        reg.gauge("driver_service_time_seconds", &[]).set(telemetry.service_time_s);
+        reg.gauge("driver_total_energy_joules", &[]).set(telemetry.total_energy_j);
+        reg.histogram("driver_policy_latency_ns", &[]).merge(&telemetry.latency);
+        reg.histogram("driver_sojourn_hist_ns", &[]).merge(&telemetry.sojourn);
+        reg.histogram("driver_queue_delay_hist_ns", &[]).merge(&telemetry.queue_delay);
+        reg.gauge("sweep_cache_hit_rate", &[]).set(telemetry.cache.hit_rate());
+        reg.gauge("sweep_cache_entries", &[]).set(telemetry.cache.entries as f64);
     }
 
     /// Worker loop: claim scenarios until the source drains.
@@ -785,8 +753,16 @@ impl ScenarioDriver {
         S: ScenarioSource + ?Sized,
         F: Fn(usize, &ScenarioSpec) -> SubstratePolicies + Sync,
     {
+        // Live profiling span start: wall clock only.  Under a virtual clock
+        // a `now_ns` read here would race with other workers' advances, so
+        // virtual-clock spans are instead derived from the deterministic
+        // queue stamps below.
+        let scenario_started_ns = match &self.obs {
+            Some(_) if !self.clock.is_virtual() => Some(self.clock.now_ns()),
+            _ => None,
+        };
         let mut policies = make_policies(index, scenario);
-        let policy_name = record.then(|| {
+        let policy_name = (record || self.obs.is_some()).then(|| {
             // Pure-CPU scenarios keep the bare CPU policy name (the original
             // trace vocabulary); mixed scenarios compose the per-substrate
             // labels so the record names the whole bundle.
@@ -941,6 +917,44 @@ impl ScenarioDriver {
             slot.sojourn.record(stamp.sojourn_ns());
             slot.queue_delay.record(stamp.delay_ns());
             slot.max_completion_ns = slot.max_completion_ns.max(stamp.completion_ns);
+        }
+        if let Some(obs) = &self.obs {
+            let policy = policy_name.as_deref().unwrap_or_default();
+            obs.registry
+                .counter("driver_policy_decisions_total", &[("policy", policy)])
+                .add(ordinal as u64);
+            if let Some(stamp) = &queue {
+                // Virtual-clock (or any queue-aware) run: arrival→start→
+                // completion spans derived from the schedule-relative stamps,
+                // one track per scenario index — bit-deterministic at any
+                // worker count.
+                obs.registry.sketch("driver_sojourn_ns", &[]).record(stamp.sojourn_ns());
+                obs.registry.sketch("driver_queue_delay_ns", &[]).record(stamp.delay_ns());
+                let track = index as u64;
+                obs.spans.record(
+                    Span::new("queue_wait", "queue", track, stamp.arrival_ns, stamp.delay_ns())
+                        .with_arg("user", &scenario.name),
+                );
+                obs.spans.record(
+                    Span::new("serve", "driver", track, stamp.start_ns, stamp.service_ns)
+                        .with_arg("user", &scenario.name)
+                        .with_arg("policy", policy),
+                );
+            } else if let Some(started_ns) = scenario_started_ns {
+                // Wall clock: a live profiling span on the worker's track.
+                let dur_ns = self.clock.now_ns().saturating_sub(started_ns);
+                obs.spans.record(
+                    Span::new(
+                        "serve_scenario",
+                        "driver",
+                        slot.telemetry.worker as u64,
+                        started_ns,
+                        dur_ns,
+                    )
+                    .with_arg("user", &scenario.name)
+                    .with_arg("policy", policy),
+                );
+            }
         }
         if let Some(decisions) = decisions {
             slot.records.push(ScenarioRecord {
@@ -1204,22 +1218,5 @@ mod tests {
         assert_eq!(stamp.sojourn_ns(), 300);
         assert_eq!(stamp.delay_ns(), 150);
         assert_eq!(stamp.sojourn_ns(), stamp.delay_ns() + stamp.service_ns);
-    }
-
-    #[test]
-    fn latency_histogram_is_well_formed() {
-        let mut h = LatencyHistogram::new();
-        for ns in [1u64, 2, 3, 1000, 1_000_000, 0] {
-            h.record(ns);
-        }
-        assert_eq!(h.count(), 6);
-        assert!(h.mean_ns() > 0.0);
-        assert_eq!(h.max_ns(), 1_000_000);
-        assert!(h.quantile_upper_bound_ns(0.5) <= h.quantile_upper_bound_ns(1.0));
-        let mut other = LatencyHistogram::new();
-        other.record(7);
-        other.merge(&h);
-        assert_eq!(other.count(), 7);
-        assert_eq!(other.buckets().iter().sum::<u64>(), 7);
     }
 }

@@ -43,11 +43,15 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
-pub mod clock;
 pub mod driver;
+pub mod obs;
 pub mod scale;
 pub mod substrate;
 pub mod sweep;
+
+/// The time seam now lives in `soclearn-telemetry`; re-exported here so
+/// `soclearn_runtime::clock::Clock` keeps working.
+pub use soclearn_telemetry::clock;
 
 pub use artifacts::{
     profiles_of, scaled_suite, sequence_of, shared_artifacts, ArtifactStore, TrainingArtifacts,
@@ -55,10 +59,12 @@ pub use artifacts::{
 };
 pub use clock::Clock;
 pub use driver::{
-    DecisionRecord, DriverTelemetry, LatencyHistogram, QueueStamp, ScenarioDriver, ScenarioRecord,
-    ScenarioSource, ScenarioSpec, SliceSource, SubstrateTelemetry, WorkerTelemetry,
+    DecisionRecord, DriverTelemetry, QueueStamp, ScenarioDriver, ScenarioRecord, ScenarioSource,
+    ScenarioSpec, SliceSource, SubstrateTelemetry, WorkerTelemetry,
 };
+pub use obs::Observability;
 pub use scale::ExperimentScale;
+pub use soclearn_telemetry::{LatencyHistogram, QuantileSketch};
 pub use substrate::{
     noc_decision_seed, replay_noc_window, DecisionKind, FrameDemand, GpuConfig, GpuDecisionRecord,
     GpuPlatform, GpuReplayOutcome, GpuReplayer, GpuServing, GpuSessionSpec, MeshConfig,

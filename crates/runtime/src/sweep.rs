@@ -220,6 +220,40 @@ impl SweepCache {
         stats
     }
 
+    /// Per-shard hit/miss/eviction statistics, indexed by shard. Exposes the
+    /// lock-striping balance ([`SweepCache::stats`] is the sum over this).
+    pub fn shard_stats(&self) -> Vec<SweepCacheStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.lock().expect("sweep cache poisoned");
+                SweepCacheStats {
+                    hits: shard.hits,
+                    misses: shard.misses,
+                    evictions: shard.evictions,
+                    entries: shard.entries.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Publishes per-shard hit/miss/evict/entry metrics into an observability
+    /// registry (labels `shard="0".."15"`). Gauges, because cache statistics
+    /// are cumulative totals: re-publishing overwrites rather than
+    /// double-counts.
+    pub fn publish_stats(&self, registry: &soclearn_telemetry::TelemetryRegistry) {
+        for (index, stats) in self.shard_stats().iter().enumerate() {
+            let shard = index.to_string();
+            let labels: [(&str, &str); 1] = [("shard", &shard)];
+            registry.gauge("sweep_cache_shard_hits", &labels).set(stats.hits as f64);
+            registry.gauge("sweep_cache_shard_misses", &labels).set(stats.misses as f64);
+            registry
+                .gauge("sweep_cache_shard_evictions", &labels)
+                .set(stats.evictions as f64);
+            registry.gauge("sweep_cache_shard_entries", &labels).set(stats.entries as f64);
+        }
+    }
+
     /// Drops every cached sweep (statistics are kept).
     pub fn clear(&self) {
         for shard in &self.shards {

@@ -27,15 +27,17 @@
 //! [`FamilyTelemetry`]) is computed from schedule-relative [`QueueStamp`]s in
 //! scenario-index order — bit-deterministic at any worker count.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 use soclearn_governors::{InteractiveGovernor, OndemandGovernor};
 use soclearn_oracle::OracleObjective;
+use soclearn_runtime::obs::{Observability, Span};
 use soclearn_runtime::{
-    Clock, DecisionKind, DriverTelemetry, QueueStamp, ScenarioDriver, ScenarioRecord,
-    ScenarioSource, ScenarioSpec, SubstrateDecision, SubstratePolicies,
+    Clock, DecisionKind, DriverTelemetry, QuantileSketch, QueueStamp, ScenarioDriver,
+    ScenarioRecord, ScenarioSource, ScenarioSpec, SubstrateDecision, SubstratePolicies,
 };
 use soclearn_soc_sim::{DvfsPolicy, SocPlatform};
 
@@ -531,10 +533,14 @@ pub struct FamilyTelemetry {
     /// the fleet utilisation.
     pub busy_fraction: f64,
     /// Mean time in system (queueing wait + service) of the family's
-    /// arrivals, seconds.
+    /// arrivals, seconds.  Exact (from the sojourn sketch's integer sum).
     pub mean_sojourn_s: f64,
-    /// 95th-percentile sojourn of the family's arrivals, seconds.
+    /// 95th-percentile sojourn of the family's arrivals, seconds (from the
+    /// sojourn sketch: ≈3.2% relative-error bound, fixed memory).
     pub p95_sojourn_s: f64,
+    /// Mergeable per-family sojourn distribution; empty unless the fleet ran
+    /// with queueing.  O(1) memory however many arrivals the family served.
+    pub sojourn: QuantileSketch,
     /// Decisions per substrate, indexed by [`DecisionKind::lane`]
     /// (`[cpu, gpu, noc]`); sums to `decisions`.
     pub substrate_decisions: [usize; 3],
@@ -581,6 +587,12 @@ pub struct QueueReport {
     /// Deepest any single user's queue got (arrivals of one user
     /// simultaneously in the system, the one in service included).
     pub max_queue_depth: usize,
+    /// Mergeable sojourn distribution the percentile fields are read from.
+    /// Fixed memory regardless of arrival count; merge reports from sharded
+    /// fleets with [`QuantileSketch::merge`].
+    pub sojourn: QuantileSketch,
+    /// Mergeable head-of-line queueing-delay distribution.
+    pub delay: QuantileSketch,
 }
 
 /// Exact order statistic over pre-sorted nanosecond durations: the value at
@@ -597,51 +609,63 @@ pub fn sorted_quantile_ns(sorted: &[u64], q: f64) -> u64 {
 impl QueueReport {
     /// Aggregates the stamps of a recorded fleet run (records in scenario
     /// index order).  Returns `None` if no record carries a stamp.
+    ///
+    /// One streaming pass with **fixed memory per user**: sojourn/delay
+    /// distributions accumulate into [`QuantileSketch`]es (percentiles carry
+    /// the sketch's ≈3.2% relative-error bound; means, utilisation and
+    /// Little's-law backlog stay exact from integer sums), and the per-user
+    /// backlog chains drain their departed prefix as arrivals stream by, so
+    /// each user holds only its currently-in-system completions.
     pub fn from_records(records: &[ScenarioRecord], user_slots: usize) -> Option<Self> {
-        let stamps: Vec<(usize, QueueStamp)> =
-            records.iter().filter_map(|r| r.queue.map(|q| (r.index, q))).collect();
-        if stamps.is_empty() {
-            return None;
-        }
-        let first_arrival = stamps.iter().map(|(_, s)| s.arrival_ns).min().unwrap_or(0);
-        let last_completion = stamps.iter().map(|(_, s)| s.completion_ns).max().unwrap_or(0);
-        let span_ns = last_completion.saturating_sub(first_arrival).max(1);
-        let total_service_ns: u64 = stamps.iter().map(|(_, s)| s.service_ns).sum();
-        let mut sojourns: Vec<u64> = stamps.iter().map(|(_, s)| s.sojourn_ns()).collect();
-        let sojourn_sum: u64 = sojourns.iter().sum();
-        let delay_sum: u64 = stamps.iter().map(|(_, s)| s.delay_ns()).sum();
-        sojourns.sort_unstable();
-
+        let mut sojourn = QuantileSketch::new();
+        let mut delay = QuantileSketch::new();
+        let mut first_arrival = u64::MAX;
+        let mut last_completion = 0u64;
+        let mut total_service_ns = 0u64;
         // Deepest per-user backlog: how many of a user's earlier arrivals
         // were still in the system (completion strictly after the arrival
         // instant) when each arrival landed, the arriving one included.
-        // FIFO completions are non-decreasing per user, so the still-present
-        // jobs form a suffix of the chain and a binary search finds it.
-        let mut per_user: Vec<Vec<u64>> = vec![Vec::new(); user_slots];
+        // Records arrive in scenario-index order, so per user both arrivals
+        // and FIFO completions are non-decreasing: departed jobs form a
+        // prefix of the chain and can be dropped for good.
+        let mut per_user: Vec<VecDeque<u64>> = vec![VecDeque::new(); user_slots];
         let mut max_queue_depth = 0usize;
-        for &(index, stamp) in &stamps {
-            let chain = &mut per_user[index % user_slots];
-            let departed = chain.partition_point(|&completion| completion <= stamp.arrival_ns);
-            max_queue_depth = max_queue_depth.max(1 + chain.len() - departed);
-            chain.push(stamp.completion_ns);
+        for record in records {
+            let Some(stamp) = record.queue else { continue };
+            first_arrival = first_arrival.min(stamp.arrival_ns);
+            last_completion = last_completion.max(stamp.completion_ns);
+            total_service_ns += stamp.service_ns;
+            sojourn.record(stamp.sojourn_ns());
+            delay.record(stamp.delay_ns());
+            let chain = &mut per_user[record.index % user_slots];
+            while chain.front().is_some_and(|&completion| completion <= stamp.arrival_ns) {
+                chain.pop_front();
+            }
+            max_queue_depth = max_queue_depth.max(1 + chain.len());
+            chain.push_back(stamp.completion_ns);
         }
-
-        let n = stamps.len() as f64;
+        if sojourn.count() == 0 {
+            return None;
+        }
+        let span_ns = last_completion.saturating_sub(first_arrival).max(1);
+        let n = sojourn.count() as f64;
         let span_s = span_ns as f64 / 1e9;
         Some(Self {
             user_slots,
-            arrivals: stamps.len(),
+            arrivals: sojourn.count() as usize,
             span_s,
             total_service_s: total_service_ns as f64 / 1e9,
             utilisation: total_service_ns as f64 / (user_slots as f64 * span_ns as f64),
             arrival_rate_per_s: n / span_s,
-            mean_sojourn_s: sojourn_sum as f64 / n / 1e9,
-            p50_sojourn_s: sorted_quantile_ns(&sojourns, 0.50) as f64 / 1e9,
-            p95_sojourn_s: sorted_quantile_ns(&sojourns, 0.95) as f64 / 1e9,
-            p99_sojourn_s: sorted_quantile_ns(&sojourns, 0.99) as f64 / 1e9,
-            mean_queue_delay_s: delay_sum as f64 / n / 1e9,
-            mean_backlog: sojourn_sum as f64 / span_ns as f64,
+            mean_sojourn_s: sojourn.sum_ns() as f64 / n / 1e9,
+            p50_sojourn_s: sojourn.quantile_ns(0.50) as f64 / 1e9,
+            p95_sojourn_s: sojourn.quantile_ns(0.95) as f64 / 1e9,
+            p99_sojourn_s: sojourn.quantile_ns(0.99) as f64 / 1e9,
+            mean_queue_delay_s: delay.sum_ns() as f64 / n / 1e9,
+            mean_backlog: sojourn.sum_ns() as f64 / span_ns as f64,
             max_queue_depth,
+            sojourn,
+            delay,
         })
     }
 }
@@ -700,6 +724,7 @@ pub struct FleetStress {
     clock: Clock,
     oracle_reference: Option<OracleObjective>,
     queueing: Option<QueueingConfig>,
+    obs: Option<Observability>,
 }
 
 impl FleetStress {
@@ -725,7 +750,21 @@ impl FleetStress {
             clock: Clock::wall(),
             oracle_reference: None,
             queueing: None,
+            obs: None,
         }
+    }
+
+    /// Publishes fleet telemetry into an [`Observability`] plane: the plane
+    /// is also handed to the underlying [`ScenarioDriver`], so one handle
+    /// collects driver counters, per-family sketches, queueing gauges and
+    /// spans.  Span determinism follows the driver's contract: under the
+    /// virtual clock spans are derived from schedule-relative stamps (or
+    /// arrival offsets when queueing is off), so the recorded span multiset
+    /// is bit-identical at any worker count.
+    #[must_use]
+    pub fn with_observability(mut self, obs: Observability) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Sets the arrival schedule (default: everyone immediately).
@@ -816,6 +855,9 @@ impl FleetStress {
         if let Some(queueing) = self.queueing {
             driver = driver.with_service_time(queueing.time_dilation);
         }
+        if let Some(obs) = &self.obs {
+            driver = driver.with_observability(obs.clone());
+        }
         let mut source = FleetSource::new(Arc::clone(&self.generator), self.users, self.schedule)
             .with_clock(self.clock.clone());
         if let Some(queueing) = self.queueing {
@@ -840,6 +882,7 @@ impl FleetStress {
                 busy_fraction: 0.0,
                 mean_sojourn_s: 0.0,
                 p95_sojourn_s: 0.0,
+                sojourn: QuantileSketch::new(),
                 substrate_decisions: [0; 3],
                 substrate_energy_j: [0.0; 3],
                 oracle_agreement: None,
@@ -847,7 +890,6 @@ impl FleetStress {
             .collect();
         let mut matches = vec![0usize; families.len()];
         let mut scored = vec![false; families.len()];
-        let mut family_sojourns: Vec<Vec<u64>> = vec![Vec::new(); families.len()];
         for record in &records {
             let slot = self.generator.family_index_of(record.index);
             let family = &mut families[slot];
@@ -862,7 +904,7 @@ impl FleetStress {
             }
             if let Some(stamp) = &record.queue {
                 family.service_s += stamp.service_ns as f64 / 1e9;
-                family_sojourns[slot].push(stamp.sojourn_ns());
+                family.sojourn.record(stamp.sojourn_ns());
             }
             if let Some(m) = record.oracle_matches {
                 matches[slot] += m;
@@ -876,19 +918,70 @@ impl FleetStress {
             }
         }
         if let Some(report) = &queueing {
-            for (family, sojourns) in families.iter_mut().zip(&mut family_sojourns) {
+            for family in families.iter_mut() {
                 family.busy_fraction =
                     family.service_s / (report.user_slots as f64 * report.span_s);
-                if !sojourns.is_empty() {
-                    family.mean_sojourn_s =
-                        sojourns.iter().sum::<u64>() as f64 / sojourns.len() as f64 / 1e9;
-                    sojourns.sort_unstable();
-                    family.p95_sojourn_s = sorted_quantile_ns(sojourns, 0.95) as f64 / 1e9;
+                if family.sojourn.count() > 0 {
+                    family.mean_sojourn_s = family.sojourn.mean_ns() / 1e9;
+                    family.p95_sojourn_s = family.sojourn.quantile_ns(0.95) as f64 / 1e9;
                 }
             }
         }
         let policy = records.first().map(|r| r.policy.clone()).unwrap_or_default();
+        if let Some(obs) = &self.obs {
+            self.publish_fleet(obs, &policy, &families, queueing.as_ref(), &records);
+        }
         FleetReport { policy, telemetry, families, queueing, records }
+    }
+
+    /// Folds one fleet run into the observability plane: per-family counters
+    /// and sojourn sketches (labelled by family and policy so baseline
+    /// governor fleets don't collide with the policy fleet), fleet-level
+    /// queueing gauges, and — when the run produced no queue stamps but ran
+    /// under the virtual clock — deterministic zero-duration arrival spans
+    /// derived from the arrival plan.  (Queueing runs get their richer
+    /// arrival→start→completion spans from the driver's stamp path instead.)
+    fn publish_fleet(
+        &self,
+        obs: &Observability,
+        policy: &str,
+        families: &[FamilyTelemetry],
+        queueing: Option<&QueueReport>,
+        records: &[ScenarioRecord],
+    ) {
+        let reg = &obs.registry;
+        for family in families {
+            let labels: [(&str, &str); 2] =
+                [("family", family.family.as_str()), ("policy", policy)];
+            reg.counter("fleet_scenarios_total", &labels).add(family.scenarios as u64);
+            reg.counter("fleet_decisions_total", &labels).add(family.decisions as u64);
+            reg.gauge("fleet_energy_joules", &labels).set(family.energy_j);
+            if family.sojourn.count() > 0 {
+                reg.sketch("fleet_sojourn_ns", &labels).merge(&family.sojourn);
+            }
+        }
+        if let Some(report) = queueing {
+            let labels: [(&str, &str); 1] = [("policy", policy)];
+            reg.gauge("queue_utilisation", &labels).set(report.utilisation);
+            reg.gauge("queue_mean_backlog", &labels).set(report.mean_backlog);
+            reg.gauge("queue_max_depth", &labels).set(report.max_queue_depth as f64);
+            reg.gauge("queue_arrival_rate_per_s", &labels).set(report.arrival_rate_per_s);
+            reg.sketch("queue_sojourn_ns", &labels).merge(&report.sojourn);
+            reg.sketch("queue_delay_ns", &labels).merge(&report.delay);
+        } else if self.clock.is_virtual() {
+            // No stamps to derive spans from: mark each arrival as an
+            // instant event at its schedule offset — a pure function of
+            // `(schedule, index, users)`, bit-deterministic at any worker
+            // count.
+            let plan = ArrivalPlan::new(self.schedule, self.users);
+            for record in records {
+                let due_ns = plan.offset(record.index).as_nanos() as u64;
+                obs.spans.record(
+                    Span::new("arrival", "fleet", record.index as u64, due_ns, 0)
+                        .with_arg("user", &record.name),
+                );
+            }
+        }
     }
 
     /// Runs the policy fleet plus *ondemand* and *interactive* governor fleets

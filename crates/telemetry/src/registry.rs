@@ -1,0 +1,357 @@
+//! Sharded, lock-cheap metrics registry.
+//!
+//! Hot paths hold an [`Arc`] handle to a [`Counter`], [`Gauge`],
+//! [`HistogramCell`] or [`SketchCell`] and update it directly — counters and
+//! gauges are single atomic ops, cells take an uncontended per-metric mutex.
+//! The registry's own shard mutexes are touched only at registration and
+//! snapshot time, so instrumenting a hot loop costs one atomic add per
+//! event. Snapshots are sorted by metric identity, so the export is
+//! deterministic regardless of registration or update interleaving.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::LatencyHistogram;
+use crate::sketch::QuantileSketch;
+
+/// Number of independent registry shards. Metric names hash across shards so
+/// concurrent registration from many workers rarely contends.
+const SHARDS: usize = 16;
+
+/// A metric's identity: name plus sorted `key=value` labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Metric name, e.g. `driver_decisions_total`.
+    pub name: String,
+    /// Label pairs, sorted by key at construction.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Build an id; labels are sorted so `[("a","1"),("b","2")]` and
+    /// `[("b","2"),("a","1")]` are the same metric.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        Self { name: name.to_string(), labels }
+    }
+}
+
+/// Monotonic counter backed by a relaxed atomic.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge (f64 bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add to the gauge (CAS loop; gauges are not hot-path metrics).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A [`LatencyHistogram`] behind an uncontended per-metric mutex.
+#[derive(Debug, Default)]
+pub struct HistogramCell(Mutex<LatencyHistogram>);
+
+impl HistogramCell {
+    /// Record one value.
+    pub fn record(&self, ns: u64) {
+        self.0.lock().expect("histogram lock poisoned").record(ns);
+    }
+
+    /// Fold a locally-accumulated histogram in (one lock per batch, the
+    /// preferred hot-path shape: accumulate per-worker, merge at the end).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.0.lock().expect("histogram lock poisoned").merge(other);
+    }
+
+    /// Snapshot the current histogram.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.lock().expect("histogram lock poisoned").clone()
+    }
+}
+
+/// A [`QuantileSketch`] behind an uncontended per-metric mutex.
+#[derive(Debug, Default)]
+pub struct SketchCell(Mutex<QuantileSketch>);
+
+impl SketchCell {
+    /// Record one value.
+    pub fn record(&self, ns: u64) {
+        self.0.lock().expect("sketch lock poisoned").record(ns);
+    }
+
+    /// Fold a locally-accumulated sketch in (one lock per batch).
+    pub fn merge(&self, other: &QuantileSketch) {
+        self.0.lock().expect("sketch lock poisoned").merge(other);
+    }
+
+    /// Snapshot the current sketch.
+    pub fn snapshot(&self) -> QuantileSketch {
+        self.0.lock().expect("sketch lock poisoned").clone()
+    }
+}
+
+/// One registered metric (shared handle).
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<HistogramCell>),
+    Sketch(Arc<SketchCell>),
+}
+
+/// Sharded metrics registry. Cloneable handles come out of the `counter` /
+/// `gauge` / `histogram` / `sketch` accessors; re-registering the same
+/// `(name, labels)` returns the existing handle, so any layer can look up a
+/// metric without threading handles through APIs.
+#[derive(Debug)]
+pub struct TelemetryRegistry {
+    shards: Vec<Mutex<HashMap<MetricId, Metric>>>,
+}
+
+impl Default for TelemetryRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard_of(&self, id: &MetricId) -> &Mutex<HashMap<MetricId, Metric>> {
+        // FNV-1a over the name only: label variants of one metric share a
+        // shard, which keeps snapshot grouping cheap and is collision-benign.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in id.name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(hash as usize) % SHARDS]
+    }
+
+    /// Get or register a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = MetricId::new(name, labels);
+        let mut shard = self.shard_of(&id).lock().expect("registry shard poisoned");
+        match shard.entry(id).or_insert_with(|| Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = MetricId::new(name, labels);
+        let mut shard = self.shard_of(&id).lock().expect("registry shard poisoned");
+        match shard.entry(id).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or register a latency histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<HistogramCell> {
+        let id = MetricId::new(name, labels);
+        let mut shard = self.shard_of(&id).lock().expect("registry shard poisoned");
+        match shard
+            .entry(id)
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCell::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or register a quantile sketch.
+    pub fn sketch(&self, name: &str, labels: &[(&str, &str)]) -> Arc<SketchCell> {
+        let id = MetricId::new(name, labels);
+        let mut shard = self.shard_of(&id).lock().expect("registry shard poisoned");
+        match shard
+            .entry(id)
+            .or_insert_with(|| Metric::Sketch(Arc::new(SketchCell::default())))
+        {
+            Metric::Sketch(s) => Arc::clone(s),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Deterministic point-in-time snapshot: metrics sorted by
+    /// `(name, labels)` regardless of registration or shard order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        let mut sketches = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("registry shard poisoned");
+            for (id, metric) in shard.iter() {
+                match metric {
+                    Metric::Counter(c) => counters.push((id.clone(), c.get())),
+                    Metric::Gauge(g) => gauges.push((id.clone(), g.get())),
+                    Metric::Histogram(h) => histograms.push((id.clone(), h.snapshot())),
+                    Metric::Sketch(s) => sketches.push((id.clone(), s.snapshot())),
+                }
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        sketches.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { counters, gauges, histograms, sketches }
+    }
+}
+
+/// Deterministic point-in-time view of every registered metric, sorted by
+/// identity. Produced by [`TelemetryRegistry::snapshot`]; consumed by the
+/// exporters in [`crate::export`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// `(id, value)` for every counter.
+    pub counters: Vec<(MetricId, u64)>,
+    /// `(id, value)` for every gauge.
+    pub gauges: Vec<(MetricId, f64)>,
+    /// `(id, histogram)` for every latency histogram.
+    pub histograms: Vec<(MetricId, LatencyHistogram)>,
+    /// `(id, sketch)` for every quantile sketch.
+    pub sketches: Vec<(MetricId, QuantileSketch)>,
+}
+
+impl MetricsSnapshot {
+    /// Total number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len() + self.sketches.len()
+    }
+
+    /// True when no metrics were registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value of a counter by name/labels, if registered.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        self.counters.iter().find(|(i, _)| *i == id).map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge by name/labels, if registered.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let id = MetricId::new(name, labels);
+        self.gauges.iter().find(|(i, _)| *i == id).map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn handles_are_shared_across_lookups() {
+        let reg = TelemetryRegistry::new();
+        let a = reg.counter("hits_total", &[("shard", "0")]);
+        let b = reg.counter("hits_total", &[("shard", "0")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot().counter("hits_total", &[("shard", "0")]), Some(4));
+    }
+
+    #[test]
+    fn label_order_is_canonicalised() {
+        let reg = TelemetryRegistry::new();
+        reg.counter("m", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(reg.snapshot().counter("m", &[("a", "1"), ("b", "2")]), Some(1));
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let reg = TelemetryRegistry::new();
+        reg.counter("zz", &[]).inc();
+        reg.counter("aa", &[("k", "2")]).inc();
+        reg.counter("aa", &[("k", "1")]).inc();
+        reg.gauge("mid", &[]).set(1.5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(id, _)| id.name.as_str()).collect();
+        assert_eq!(names, ["aa", "aa", "zz"]);
+        assert_eq!(snap.counters[0].0.labels[0].1, "1");
+        assert_eq!(snap.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let reg = Arc::new(TelemetryRegistry::new());
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let reg = Arc::clone(&reg);
+            handles.push(thread::spawn(move || {
+                let c = reg.counter("work_total", &[]);
+                let s = reg.sketch("latency_ns", &[("worker", &w.to_string())]);
+                for i in 0..1000u64 {
+                    c.inc();
+                    s.record(i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("work_total", &[]), Some(4000));
+        assert_eq!(snap.sketches.len(), 4);
+        assert!(snap.sketches.iter().all(|(_, s)| s.count() == 1000));
+    }
+
+    #[test]
+    fn gauge_add_accumulates() {
+        let g = Gauge::default();
+        g.set(1.0);
+        g.add(2.5);
+        assert_eq!(g.get(), 3.5);
+    }
+}

@@ -16,6 +16,12 @@
 //! time instead of living only in prose.  Numbers are best-of-3 to damp
 //! runner noise; the JSON layout is flat key/value per section so the gate
 //! can read it with any JSON parser.
+//!
+//! The `observability` section reruns the steady-state fleet with the metrics
+//! registry attached (the acceptance gate wants that number within 5 % of the
+//! plain one) and microbenches raw registry ops; the instrumented runs'
+//! registry snapshot itself is written next to the output as
+//! `<stem>.metrics.json` and uploaded by CI alongside `BENCH_4.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,8 +32,9 @@ use soclearn_scenarios::Trace;
 use std::time::Duration;
 
 /// Schema version of the snapshot format (2: added the `queueing` section;
-/// 3: added the `multi_substrate` section).
-const SCHEMA: u32 = 3;
+/// 3: added the `multi_substrate` section; 4: added the `observability` and
+/// `queueing_full` sections).
+const SCHEMA: u32 = 4;
 /// Timed repetitions per measurement; the best (max throughput / min time)
 /// is reported.
 const REPS: usize = 3;
@@ -36,7 +43,7 @@ const REPS: usize = 3;
 /// line and the snapshot's `offered_load` field).
 const OFFERED_LOAD: f64 = 8.0;
 
-fn serving_users(users: usize) -> Vec<ScenarioSpec> {
+fn serving_users(users: usize, scale: ExperimentScale) -> Vec<ScenarioSpec> {
     (0..users)
         .map(|user| {
             let kind = match user % 3 {
@@ -44,7 +51,7 @@ fn serving_users(users: usize) -> Vec<ScenarioSpec> {
                 1 => SuiteKind::Cortex,
                 _ => SuiteKind::Parsec,
             };
-            let benchmarks = scaled_suite(kind, ExperimentScale::Quick);
+            let benchmarks = scaled_suite(kind, scale);
             let sequence = sequence_of(&benchmarks, kind);
             ScenarioSpec::from_sequence(format!("user-{user}"), &sequence)
         })
@@ -56,7 +63,7 @@ fn main() {
     let platform = SocPlatform::odroid_xu3();
     let users = 12;
     let workers = 4;
-    let specs = serving_users(users);
+    let specs = serving_users(users, ExperimentScale::Quick);
 
     // Serving: the online-IL fleet of the serving_throughput bench.  The cold
     // pass runs on a driver with a *fresh* sweep cache (the artifact store's
@@ -220,6 +227,120 @@ fn main() {
         queueing.max_queue_depth,
     );
 
+    // Observability overhead: the identical steady-state serving fleet with
+    // the metrics registry and span recorder attached — the acceptance gate
+    // wants this within 5 % of the plain steady-state number — plus raw
+    // registry op throughput (one relaxed atomic add per counter op, one
+    // mutex-guarded bucket add per sketch record).  Plain and instrumented
+    // reps are interleaved so clock-frequency drift hits both alike.
+    let obs = Observability::new();
+    let obs_driver = ScenarioDriver::new(platform.clone(), workers)
+        .with_cache(artifacts.sweep_cache().clone())
+        .with_oracle_reference(OracleObjective::Energy)
+        .with_observability(obs.clone());
+    let mut plain_best = steady.decisions_per_second;
+    let mut steady_obs = None;
+    for _ in 0..REPS {
+        let plain = driver.run(&specs, make_policy);
+        plain_best = plain_best.max(plain.decisions_per_second);
+        let instrumented = obs_driver.run(&specs, make_policy);
+        let better = steady_obs.as_ref().is_none()
+            || steady_obs.as_ref().is_some_and(|best: &DriverTelemetry| {
+                instrumented.decisions_per_second > best.decisions_per_second
+            });
+        if better {
+            steady_obs = Some(instrumented);
+        }
+    }
+    let steady_obs = steady_obs.expect("at least one instrumented steady-state rep");
+    let overhead_pct = (1.0 - steady_obs.decisions_per_second / plain_best) * 100.0;
+    let counter = obs.registry.counter("bench_registry_ops_total", &[]);
+    let counter_ops = 10_000_000u64;
+    let counter_seconds = time_of(|| {
+        for _ in 0..counter_ops {
+            counter.inc();
+        }
+    });
+    let sketch = obs.registry.sketch("bench_registry_sketch_ns", &[]);
+    let sketch_ops = 1_000_000u64;
+    let sketch_seconds = time_of(|| {
+        for i in 0..sketch_ops {
+            sketch.record(i);
+        }
+    });
+    println!(
+        "observability: steady-state with metrics {:.0} decisions/s ({:+.2}% vs plain), \
+         counter {:.0} Mops/s, sketch {:.0} Mops/s",
+        steady_obs.decisions_per_second,
+        -overhead_pct,
+        counter_ops as f64 / counter_seconds / 1e6,
+        sketch_ops as f64 / sketch_seconds / 1e6,
+    );
+
+    // Full-scale re-profile (owed since PR 5): Full-length benchmark suites
+    // through the full serving stack (online-IL + oracle reference + shared
+    // sweep cache) at 1/2/4 workers — quick-scale runs are bounded by thread
+    // spawn over 640-decision streams, so worker scaling is measured on the
+    // longer streams — plus a saturated Full-size queueing drain.  Everything
+    // here runs instrumented through the shared registry.
+    let full_specs = serving_users(users, ExperimentScale::Full);
+    let full_driver = |full_workers: usize| {
+        ScenarioDriver::new(platform.clone(), full_workers)
+            .with_cache(artifacts.sweep_cache().clone())
+            .with_oracle_reference(OracleObjective::Energy)
+            .with_observability(obs.clone())
+    };
+    // One warm-up pass heats the shared sweep cache for the Full-length
+    // streams, so every measured worker count sees the same steady state.
+    full_driver(workers).run(&full_specs, make_policy);
+    let mut full_dps = [0.0f64; 3];
+    let mut full_decisions = 0usize;
+    for (slot, full_workers) in [1usize, 2, 4].into_iter().enumerate() {
+        let driver = full_driver(full_workers);
+        let telemetry = (0..REPS)
+            .map(|_| driver.run(&full_specs, make_policy))
+            .max_by(|a, b| a.decisions_per_second.total_cmp(&b.decisions_per_second))
+            .expect("at least one full-scale rep");
+        full_dps[slot] = telemetry.decisions_per_second;
+        full_decisions = telemetry.decisions;
+    }
+    let full_scaling_4w = full_dps[2] / (full_dps[0] * 4.0).max(1e-9);
+    let full_queue_users = 96;
+    let full_queue_start = Instant::now();
+    let full_queue_report =
+        FleetStress::new(small.clone(), ScenarioGenerator::standard(2020, 6), full_queue_users, 4)
+            .with_schedule(ArrivalSchedule::Constant {
+                interval: Duration::from_secs_f64(mean_service_s / OFFERED_LOAD),
+            })
+            .with_clock(Clock::virtual_clock())
+            .with_queueing(QueueingConfig::new(1.0, 1))
+            .with_observability(obs.clone())
+            .run(|_, _| Box::new(OndemandGovernor::new(&small)));
+    let full_queue_wall_ms = full_queue_start.elapsed().as_secs_f64() * 1e3;
+    let full_queue = full_queue_report.queueing.expect("queueing was enabled");
+    println!(
+        "queueing_full: {} full-scale decisions — {:.0} / {:.0} / {:.0} decisions/s at 1/2/4 \
+         workers ({:.0}% scaling); {} saturated arrivals drained in {:.1} ms wall, utilisation \
+         {:.3}, p95 sojourn {:.1} ms",
+        full_decisions,
+        full_dps[0],
+        full_dps[1],
+        full_dps[2],
+        full_scaling_4w * 100.0,
+        full_queue.arrivals,
+        full_queue_wall_ms,
+        full_queue.utilisation,
+        full_queue.p95_sojourn_s * 1e3,
+    );
+
+    // The instrumented runs' own registry, exported next to the snapshot.
+    artifacts.publish_stats(&obs.registry);
+    let metrics_snapshot = obs.snapshot();
+    assert!(
+        metrics_snapshot.counter("driver_runs_total", &[]).unwrap_or(0) > 0,
+        "instrumented runs must publish through the registry"
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": {SCHEMA},");
@@ -274,6 +395,34 @@ fn main() {
         writeln!(json, "    \"mean_queue_delay_ms\": {:.2},", queueing.mean_queue_delay_s * 1e3);
     let _ = writeln!(json, "    \"p95_sojourn_ms\": {:.2},", queueing.p95_sojourn_s * 1e3);
     let _ = writeln!(json, "    \"max_queue_depth\": {}", queueing.max_queue_depth);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"observability\": {{");
+    let _ = writeln!(
+        json,
+        "    \"steady_state_decisions_per_s_with_metrics\": {:.1},",
+        steady_obs.decisions_per_second
+    );
+    let _ = writeln!(json, "    \"overhead_pct\": {overhead_pct:.2},");
+    let _ =
+        writeln!(json, "    \"counter_ops_per_s\": {:.0},", counter_ops as f64 / counter_seconds);
+    let _ =
+        writeln!(json, "    \"sketch_records_per_s\": {:.0},", sketch_ops as f64 / sketch_seconds);
+    let _ = writeln!(json, "    \"registry_metrics\": {}", metrics_snapshot.len());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"queueing_full\": {{");
+    let _ = writeln!(json, "    \"users\": {users},");
+    let _ = writeln!(json, "    \"decisions\": {full_decisions},");
+    let _ = writeln!(json, "    \"decisions_per_s_1w\": {:.1},", full_dps[0]);
+    let _ = writeln!(json, "    \"decisions_per_s_2w\": {:.1},", full_dps[1]);
+    let _ = writeln!(json, "    \"decisions_per_s_4w\": {:.1},", full_dps[2]);
+    let _ = writeln!(json, "    \"scaling_efficiency_4w\": {full_scaling_4w:.4},");
+    let _ = writeln!(json, "    \"queue_arrivals\": {},", full_queue.arrivals);
+    let _ = writeln!(json, "    \"queue_utilisation\": {:.4},", full_queue.utilisation);
+    let _ =
+        writeln!(json, "    \"queue_mean_delay_ms\": {:.2},", full_queue.mean_queue_delay_s * 1e3);
+    let _ = writeln!(json, "    \"queue_p95_sojourn_ms\": {:.2},", full_queue.p95_sojourn_s * 1e3);
+    let _ = writeln!(json, "    \"queue_max_depth\": {},", full_queue.max_queue_depth);
+    let _ = writeln!(json, "    \"queue_wall_ms\": {full_queue_wall_ms:.2}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     if let Some(parent) = std::path::Path::new(&out_path).parent() {
@@ -282,7 +431,12 @@ fn main() {
         }
     }
     std::fs::write(&out_path, &json).expect("snapshot file writes");
-    println!("\nWrote {out_path}.");
+    let metrics_path = out_path
+        .strip_suffix(".json")
+        .map(|stem| format!("{stem}.metrics.json"))
+        .unwrap_or_else(|| format!("{out_path}.metrics.json"));
+    std::fs::write(&metrics_path, metrics_snapshot.to_json()).expect("metrics file writes");
+    println!("\nWrote {out_path} and {metrics_path}.");
 }
 
 /// Seconds one call takes (the result is black-holed through `println`-free

@@ -33,6 +33,14 @@
 //! by the full learned bundle (online-IL + eNMPC + SVR) against per-substrate
 //! governor baselines (utilisation-governed GPU, analytical NoC).  The
 //! recorded trace is then format v3 and still replays bit-identically.
+//!
+//! Observability: `--metrics-out PATH` writes the run's metrics registry as a
+//! JSON snapshot, `--prom-out PATH` writes (and lints) the Prometheus text
+//! exposition, and `--spans-out PATH` dumps the recorded spans as
+//! chrome://tracing JSON.  Span dumps require `--virtual-clock` — under the
+//! virtual clock every span is derived from schedule-relative stamps, so two
+//! runs produce byte-identical dumps at any worker count (CI byte-compares
+//! them), whereas wall-clock spans are live profiling data.
 
 use std::time::{Duration, Instant};
 
@@ -52,6 +60,9 @@ fn main() {
     let mut queueing = false;
     let mut substrates_all = false;
     let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
+    let mut spans_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,11 +78,31 @@ fn main() {
             "--trace-out" => {
                 trace_out = Some(args.next().expect("--trace-out needs a file path"));
             }
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out needs a file path"));
+            }
+            "--prom-out" => {
+                prom_out = Some(args.next().expect("--prom-out needs a file path"));
+            }
+            "--spans-out" => {
+                spans_out = Some(args.next().expect("--spans-out needs a file path"));
+            }
             other => panic!(
                 "unknown argument {other:?} (try --virtual-clock, --queueing, \
-                 --substrates all, --trace-out PATH)"
+                 --substrates all, --trace-out PATH, --metrics-out PATH, --prom-out PATH, \
+                 --spans-out PATH)"
             ),
         }
+    }
+    if spans_out.is_some() {
+        // Wall-clock spans are live profiling data whose timestamps depend on
+        // scheduler interleaving; only virtual-clock spans (derived from
+        // schedule-relative queue stamps) dump byte-identically across runs.
+        assert!(
+            virtual_clock,
+            "--spans-out needs --virtual-clock: wall-clock span timestamps are \
+             nondeterministic, only virtual-time spans dump reproducibly"
+        );
     }
 
     let platform = SocPlatform::odroid_xu3();
@@ -120,6 +151,8 @@ fn main() {
         );
         fleet = fleet.with_queueing(QueueingConfig::new(QUEUE_DILATION, QUEUE_SLOTS));
     }
+    let obs = Observability::new();
+    fleet = fleet.with_observability(obs.clone());
     let wall = Instant::now();
     let online_il = |_: usize, _: &ScenarioSpec| -> Box<dyn DvfsPolicy + Send> {
         Box::new(artifacts.online_policy(OnlineIlConfig {
@@ -266,6 +299,29 @@ fn main() {
     let diff = TraceDiff::between(il_user, &governor_trace.scenarios[0]);
     println!("Diff on {}: {}", il_user.name, diff.render("online-il", "ondemand"));
 
+    // Observability exports: the shared registry as a JSON snapshot and/or a
+    // linted Prometheus exposition, plus the virtual-time span flight
+    // recorder as chrome://tracing JSON.
+    artifacts.publish_stats(&obs.registry);
+    let snapshot = obs.snapshot();
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, snapshot.to_json()).expect("metrics file writes");
+        println!("Wrote {} metrics to {path}.", snapshot.len());
+    }
+    if let Some(path) = &prom_out {
+        let text = snapshot.to_prometheus();
+        soclearn_runtime::obs::validate_prometheus(&text).expect("Prometheus exposition lints");
+        std::fs::write(path, text).expect("prometheus file writes");
+        println!("Wrote the linted Prometheus exposition to {path}.");
+    }
+    if let Some(path) = &spans_out {
+        assert_eq!(obs.spans.dropped(), 0, "span ring overflowed; raise the recorder capacity");
+        let mut trace_json = Vec::new();
+        obs.spans.export_chrome_trace(&mut trace_json).expect("span export renders");
+        std::fs::write(path, trace_json).expect("span file writes");
+        println!("Wrote {} virtual-time spans to {path}.", obs.spans.len());
+    }
+
     let il_wins = vs_ondemand
         .iter()
         .zip(&vs_interactive)
@@ -277,10 +333,9 @@ fn main() {
     );
 }
 
-/// The quantile of a pre-sorted sojourn list (the `QueueReport` ceiling-rank
-/// rule), in virtual minutes.
-fn sojourn_quantile_min(sorted_ns: &[u64], q: f64) -> f64 {
-    soclearn_scenarios::sorted_quantile_ns(sorted_ns, q) as f64 / 1e9 / 60.0
+/// A sketch quantile (the `QueueReport` ceiling-rank rule) in virtual minutes.
+fn sojourn_quantile_min(sketch: &QuantileSketch, q: f64) -> f64 {
+    sketch.quantile_ns(q) as f64 / 1e9 / 60.0
 }
 
 /// The queueing tables of a `--queueing` run: the main fleet's per-family
@@ -343,7 +398,9 @@ fn print_queueing_tables(il: &FleetReport, platform: &SocPlatform, workers: usiz
     // linear pass instead of replaying the Markov chain from scratch for
     // every record (2 × O(index) walks each).
     let plan = ArrivalPlan::new(schedule, markov_users);
-    let (mut calm_ns, mut storm_ns): (Vec<u64>, Vec<u64>) = (Vec::new(), Vec::new());
+    // Per-regime sojourn percentiles come from fixed-memory mergeable
+    // sketches — no sorted per-regime vectors, however many arrivals land.
+    let (mut calm, mut storm) = (QuantileSketch::new(), QuantileSketch::new());
     for record in &report.records {
         let stamp = record.queue.expect("queueing stamps every record");
         // Classify by the inter-arrival gap that admitted this user: storm
@@ -353,17 +410,16 @@ fn print_queueing_tables(il: &FleetReport, platform: &SocPlatform, workers: usiz
         } else {
             (plan.offset(record.index) - plan.offset(record.index - 1)).as_secs_f64()
         };
-        if gap_s <= 60.0 { &mut storm_ns } else { &mut calm_ns }.push(stamp.sojourn_ns());
+        if gap_s <= 60.0 { &mut storm } else { &mut calm }.record(stamp.sojourn_ns());
     }
     let markov_queue = report.queueing.as_ref().expect("queueing was enabled");
-    let regime_rows: Vec<Vec<String>> = [("calm", &mut calm_ns), ("storm", &mut storm_ns)]
+    let regime_rows: Vec<Vec<String>> = [("calm", &calm), ("storm", &storm)]
         .into_iter()
-        .filter(|(_, sojourns)| !sojourns.is_empty())
+        .filter(|(_, sojourns)| sojourns.count() > 0)
         .map(|(regime, sojourns)| {
-            sojourns.sort_unstable();
             vec![
                 regime.to_owned(),
-                format!("{}", sojourns.len()),
+                format!("{}", sojourns.count()),
                 format!("{:.1} min", sojourn_quantile_min(sojourns, 0.50)),
                 format!("{:.1} min", sojourn_quantile_min(sojourns, 0.95)),
                 format!("{:.1} min", sojourn_quantile_min(sojourns, 0.99)),

@@ -1,0 +1,217 @@
+//! Integration tests of the observability plane: sketch/histogram merge
+//! laws (property-based), virtual-clock span-dump determinism across worker
+//! counts, and the exporters (metrics JSON parses, Prometheus exposition
+//! lints).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use soclearn_core::prelude::*;
+use soclearn_runtime::obs::validate_prometheus;
+use soclearn_runtime::LatencyHistogram;
+use soclearn_scenarios::{json, sorted_quantile_ns};
+
+/// Durations spanning the sketch's exact range (< 32 ns), the log-linear
+/// range and the multi-second tail: a selector byte picks the band, the raw
+/// magnitude is folded into it (the offline proptest shim has no
+/// `prop_oneof`).
+fn durations_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u8..3, 0u64..10_000_000_000), 0..64).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(band, v)| match band {
+                0 => v % 64,
+                1 => 64 + v % 1_000_000,
+                _ => v,
+            })
+            .collect()
+    })
+}
+
+fn sketch_of(values: &[u64]) -> QuantileSketch {
+    let mut sketch = QuantileSketch::new();
+    for &v in values {
+        sketch.record(v);
+    }
+    sketch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sketch merge is associative bit-for-bit: any merge tree over the same
+    /// shards yields the identical sketch, so fleet aggregation order (and
+    /// therefore worker count) can never show in exported quantiles.
+    #[test]
+    fn sketch_merge_is_associative(
+        a in durations_strategy(),
+        b in durations_strategy(),
+        c in durations_strategy(),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        prop_assert!(left == right, "(a+b)+c != a+(b+c)");
+        // Commutes too: aggregation is a free-for-all multiset union.
+        let mut swapped = sb;
+        swapped.merge(&sa);
+        swapped.merge(&sc);
+        prop_assert!(left == swapped, "merge is not commutative");
+    }
+
+    /// Merging per-shard sketches then taking a quantile matches recording
+    /// the concatenation directly (exactly — merge is element-wise), and both
+    /// stay within the sketch's relative-error bound of the exact
+    /// `sorted_quantile_ns` ceiling-rank answer.
+    #[test]
+    fn merge_then_quantile_matches_concat_within_bound(
+        a in durations_strategy(),
+        b in durations_strategy(),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut merged = sketch_of(&a);
+        merged.merge(&sketch_of(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert!(merged == sketch_of(&concat), "merged parts != recorded concatenation");
+        if !concat.is_empty() {
+            concat.sort_unstable();
+            let exact = sorted_quantile_ns(&concat, q);
+            let approx = merged.quantile_ns(q);
+            // The sketch returns the floor of the bucket holding the
+            // ceiling-rank value; buckets are at most 1/32 wide relative to
+            // their floor.
+            prop_assert!(approx <= exact, "sketch {} above exact {}", approx, exact);
+            prop_assert!(
+                exact - approx <= exact / 16 + 1,
+                "sketch {} too far below exact {}",
+                approx,
+                exact
+            );
+        }
+    }
+
+    /// The fixed-bucket latency histogram obeys the same merge laws.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in durations_strategy(),
+        b in durations_strategy(),
+        c in durations_strategy(),
+    ) {
+        let hist_of = |values: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        let mut tail = hist_of(&b);
+        tail.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&tail);
+        prop_assert!(left.buckets() == right.buckets(), "histogram merge not associative");
+        prop_assert!(left.count() == right.count(), "histogram counts diverged");
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(&c);
+        concat.sort_unstable();
+        let from_sorted = LatencyHistogram::from_sorted_ns(&concat);
+        prop_assert!(
+            left.buckets() == from_sorted.buckets(),
+            "from_sorted_ns != merged parts"
+        );
+    }
+}
+
+/// A small deterministic queueing fleet on the virtual clock, instrumented
+/// through a fresh observability plane.
+fn instrumented_queueing_run(workers: usize) -> (Observability, FleetReport) {
+    let platform = SocPlatform::small();
+    let obs = Observability::new();
+    let report =
+        FleetStress::new(platform.clone(), ScenarioGenerator::standard(2020, 6), 18, workers)
+            .with_schedule(ArrivalSchedule::Diurnal {
+                period: Duration::from_secs(24 * 3_600),
+                peak: Duration::from_secs(30 * 60),
+                off_peak: Duration::from_secs(4 * 3_600),
+            })
+            .with_clock(Clock::virtual_clock())
+            .with_queueing(QueueingConfig::new(3_600.0, 2))
+            .with_observability(obs.clone())
+            .run(|_, _| Box::new(OndemandGovernor::new(&platform)));
+    (obs, report)
+}
+
+fn chrome_trace_of(obs: &Observability) -> Vec<u8> {
+    assert_eq!(obs.spans.dropped(), 0, "flight recorder must not overflow in this test");
+    let mut out = Vec::new();
+    obs.spans.export_chrome_trace(&mut out).expect("chrome trace renders");
+    out
+}
+
+/// The acceptance gate: virtual-clock span dumps are byte-identical at 1, 2
+/// and 4 workers — spans are derived from schedule-relative queue stamps and
+/// sorted by content, so worker interleaving cannot reach the bytes.
+#[test]
+fn span_dump_bit_identical_across_worker_counts() {
+    let (obs1, report1) = instrumented_queueing_run(1);
+    let (obs2, report2) = instrumented_queueing_run(2);
+    let (obs4, report4) = instrumented_queueing_run(4);
+    let dump1 = chrome_trace_of(&obs1);
+    assert!(!dump1.is_empty() && !obs1.spans.is_empty(), "queueing run must record spans");
+    assert_eq!(dump1, chrome_trace_of(&obs2), "1-worker and 2-worker span dumps diverged");
+    assert_eq!(dump1, chrome_trace_of(&obs4), "1-worker and 4-worker span dumps diverged");
+    // The sketch-backed queue percentiles share the determinism guarantee.
+    let q1 = report1.queueing.expect("queueing on");
+    let q2 = report2.queueing.expect("queueing on");
+    let q4 = report4.queueing.expect("queueing on");
+    assert_eq!(q1.sojourn, q2.sojourn);
+    assert_eq!(q1.sojourn, q4.sojourn);
+    assert_eq!(q1.p95_sojourn_s.to_bits(), q4.p95_sojourn_s.to_bits());
+}
+
+/// Same-configuration reruns reproduce the span dump bit-for-bit (the CI
+/// determinism gate runs the `fleet_stress` flavour of this).
+#[test]
+fn span_dump_reproduces_across_runs() {
+    let (first, _) = instrumented_queueing_run(4);
+    let (second, _) = instrumented_queueing_run(4);
+    assert_eq!(chrome_trace_of(&first), chrome_trace_of(&second));
+}
+
+/// Both text exporters hold up on a real instrumented run: the metrics JSON
+/// parses with the workspace JSON parser and carries the driver counters, and
+/// the Prometheus exposition passes the format lint.
+#[test]
+fn exporters_parse_and_lint() {
+    let (obs, report) = instrumented_queueing_run(4);
+    let snapshot = obs.snapshot();
+    assert!(!snapshot.is_empty(), "instrumented run must register metrics");
+
+    let json_text = snapshot.to_json();
+    let parsed = json::parse(&json_text).expect("metrics JSON parses");
+    let root = match &parsed {
+        json::JsonValue::Object(map) => map,
+        other => panic!("metrics root must be an object, got {other:?}"),
+    };
+    assert!(root.contains_key("counters"), "metrics JSON must carry a counters section");
+    assert_eq!(
+        snapshot.counter("driver_runs_total", &[]),
+        Some(1),
+        "the fleet run must publish through the registry"
+    );
+    let decisions: u64 = snapshot
+        .counter("driver_decisions_total", &[("substrate", "cpu")])
+        .expect("cpu decision counter registered");
+    assert_eq!(decisions as usize, report.telemetry.decisions);
+
+    let prometheus = snapshot.to_prometheus();
+    validate_prometheus(&prometheus).expect("Prometheus exposition lints");
+}
