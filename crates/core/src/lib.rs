@@ -64,11 +64,11 @@ pub mod prelude {
     };
     pub use soclearn_rl::{DqnAgent, QTableAgent, RlConfig};
     pub use soclearn_runtime::{
-        shared_artifacts, ArtifactStore, Clock, DecisionKind, DriverTelemetry, ExperimentScale,
-        FrameDemand, GpuServing, GpuSessionSpec, NocServing, NocSessionSpec, Observability,
-        QuantileSketch, QueueStamp, ScenarioDriver, ScenarioSource, ScenarioSpec, SliceSource,
-        SubstrateDecision, SubstratePolicies, SubstrateRecord, SubstrateTelemetry, SubstrateWork,
-        SweepCache, SweepEngine, TrainingArtifacts,
+        shared_artifacts, AmdahlFit, ArtifactStore, BottleneckReport, Clock, DecisionKind,
+        DriverTelemetry, ExperimentScale, FrameDemand, GpuServing, GpuSessionSpec, NocServing,
+        NocSessionSpec, Observability, QuantileSketch, QueueStamp, ScenarioDriver, ScenarioSource,
+        ScenarioSpec, SliceSource, SubstrateDecision, SubstratePolicies, SubstrateRecord,
+        SubstrateTelemetry, SubstrateWork, SweepCache, SweepEngine, TrainingArtifacts,
     };
     pub use soclearn_scenarios::{
         fifo_stamps, replay, ArrivalSchedule, FleetReport, FleetSource, FleetStress, PhasePattern,

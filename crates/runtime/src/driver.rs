@@ -574,6 +574,16 @@ impl ScenarioDriver {
         F: Fn(usize, &ScenarioSpec) -> SubstratePolicies + Sync,
     {
         let started_ns = self.clock.now_ns();
+        // With an observability plane attached, the run's shared locks — the
+        // sweep-cache shards and platform registry (and the quantised serving
+        // cache's, when enabled) — are contention-observed so worker-scaling
+        // stalls show up as named lock sites in the bottleneck report.
+        if let Some(obs) = &self.obs {
+            self.cache.attach_contention(&obs.registry);
+            if let Some(serving) = &self.serving_cache {
+                serving.attach_contention(&obs.registry);
+            }
+        }
         let mut worker_slots: Vec<WorkerSlot> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
                 .map(|worker| {

@@ -64,7 +64,10 @@ pub use driver::{
 };
 pub use obs::Observability;
 pub use scale::ExperimentScale;
-pub use soclearn_telemetry::{LatencyHistogram, QuantileSketch};
+pub use soclearn_telemetry::{
+    AmdahlFit, BottleneckReport, LatencyHistogram, ObservedMutex, ObservedRwLock, QuantileSketch,
+    SiteAttribution, StampedInterval,
+};
 pub use substrate::{
     noc_decision_seed, replay_noc_window, DecisionKind, FrameDemand, GpuConfig, GpuDecisionRecord,
     GpuPlatform, GpuReplayOutcome, GpuReplayer, GpuServing, GpuSessionSpec, MeshConfig,

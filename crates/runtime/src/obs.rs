@@ -8,21 +8,29 @@
 
 use std::sync::Arc;
 
+use soclearn_telemetry::span::DEFAULT_SPAN_CAPACITY;
 pub use soclearn_telemetry::{
-    validate_prometheus, Counter, Gauge, HistogramCell, LatencyHistogram, MetricId,
-    MetricsSnapshot, QuantileSketch, SketchCell, Span, SpanRecorder, TelemetryRegistry,
+    validate_prometheus, AmdahlFit, BottleneckReport, Counter, Gauge, HistogramCell,
+    LatencyHistogram, MetricId, MetricsSnapshot, ObservedMutex, ObservedRwLock, QuantileSketch,
+    SiteAttribution, SketchCell, Span, SpanRecorder, StampedInterval, TelemetryRegistry,
 };
 
 /// Shared handle on the observability plane: one metrics registry plus one
 /// bounded span flight recorder. Pass clones to
 /// [`ScenarioDriver::with_observability`](crate::ScenarioDriver::with_observability)
 /// and friends; snapshot or export at the end of a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Observability {
     /// The shared metrics registry.
     pub registry: Arc<TelemetryRegistry>,
     /// The shared span flight recorder.
     pub spans: Arc<SpanRecorder>,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Self::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
 }
 
 impl Observability {
@@ -31,16 +39,22 @@ impl Observability {
         Self::default()
     }
 
-    /// A fresh plane with an explicit span-ring capacity.
+    /// A fresh plane with an explicit span-ring capacity. The span ring's
+    /// own lock is contention-observed in the registry from birth (the
+    /// `span_ring` site), so the flight recorder can never become an
+    /// invisible serialization point.
     pub fn with_span_capacity(capacity: usize) -> Self {
-        Self {
-            registry: Arc::new(TelemetryRegistry::new()),
-            spans: Arc::new(SpanRecorder::with_capacity(capacity)),
-        }
+        let registry = Arc::new(TelemetryRegistry::new());
+        let spans = Arc::new(SpanRecorder::with_capacity(capacity));
+        spans.attach_contention(&registry);
+        Self { registry, spans }
     }
 
-    /// Deterministic snapshot of every registered metric.
+    /// Deterministic snapshot of every registered metric. Refreshes
+    /// `spans_dropped_total` first, so ring overflow is always visible in
+    /// the export.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        self.spans.publish_stats(&self.registry);
         self.registry.snapshot()
     }
 }

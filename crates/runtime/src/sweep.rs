@@ -28,7 +28,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
+
+use soclearn_telemetry::{ObservedMutex, ObservedRwLock};
 
 use soclearn_oracle::{Demonstration, OracleObjective, OracleRun, OracleSearch};
 use soclearn_soc_sim::{DvfsConfig, SnippetExecution, SocPlatform, SocSimulator};
@@ -121,9 +123,9 @@ struct SweepShard {
 /// different locks and driver throughput scales with the worker count.
 #[derive(Debug)]
 pub struct SweepCache {
-    shards: Vec<Mutex<SweepShard>>,
+    shards: Vec<ObservedMutex<SweepShard>>,
     /// Registered platform fingerprints; index = platform id.
-    platforms: RwLock<Vec<String>>,
+    platforms: ObservedRwLock<Vec<String>>,
     capacity_per_shard: usize,
     /// Number of low mantissa bits dropped from every `f64` in the key.
     quantize_bits: u32,
@@ -188,11 +190,25 @@ impl SweepCache {
         assert!(shards > 0, "sweep cache needs at least one shard");
         assert!(quantize_bits < 52, "cannot drop the entire f64 mantissa");
         Self {
-            shards: (0..shards).map(|_| Mutex::new(SweepShard::default())).collect(),
-            platforms: RwLock::new(Vec::new()),
+            shards: (0..shards)
+                .map(|_| ObservedMutex::new("sweep_cache_shard", SweepShard::default()))
+                .collect(),
+            platforms: ObservedRwLock::new("sweep_cache_platforms", Vec::new()),
             capacity_per_shard: capacity.div_ceil(shards),
             quantize_bits,
         }
+    }
+
+    /// Observe the cache's lock contention in `registry`: all shard mutexes
+    /// aggregate under the `sweep_cache_shard` site and the platform
+    /// registry under `sweep_cache_platforms`. The driver calls this when a
+    /// run starts with observability attached; un-instrumented runs pay one
+    /// relaxed atomic add per lock.
+    pub fn attach_contention(&self, registry: &soclearn_telemetry::TelemetryRegistry) {
+        for shard in &self.shards {
+            shard.attach(registry);
+        }
+        self.platforms.attach(registry);
     }
 
     /// Number of lock-striped shards.
@@ -201,7 +217,7 @@ impl SweepCache {
     }
 
     /// The shard responsible for `key`.
-    fn shard_of(&self, key: &SweepKey) -> &Mutex<SweepShard> {
+    fn shard_of(&self, key: &SweepKey) -> &ObservedMutex<SweepShard> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
@@ -211,7 +227,7 @@ impl SweepCache {
     pub fn stats(&self) -> SweepCacheStats {
         let mut stats = SweepCacheStats::default();
         for shard in &self.shards {
-            let shard = shard.lock().expect("sweep cache poisoned");
+            let shard = shard.lock();
             stats.hits += shard.hits;
             stats.misses += shard.misses;
             stats.evictions += shard.evictions;
@@ -226,7 +242,7 @@ impl SweepCache {
         self.shards
             .iter()
             .map(|shard| {
-                let shard = shard.lock().expect("sweep cache poisoned");
+                let shard = shard.lock();
                 SweepCacheStats {
                     hits: shard.hits,
                     misses: shard.misses,
@@ -257,7 +273,7 @@ impl SweepCache {
     /// Drops every cached sweep (statistics are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("sweep cache poisoned");
+            let mut shard = shard.lock();
             shard.entries.clear();
             shard.order.clear();
         }
@@ -271,12 +287,12 @@ impl SweepCache {
     fn platform_id(&self, platform: &SocPlatform) -> u32 {
         let fingerprint = serde_json::to_string(platform).expect("platform serialises");
         {
-            let platforms = self.platforms.read().expect("platform registry poisoned");
+            let platforms = self.platforms.read();
             if let Some(idx) = platforms.iter().position(|p| *p == fingerprint) {
                 return idx as u32;
             }
         }
-        let mut platforms = self.platforms.write().expect("platform registry poisoned");
+        let mut platforms = self.platforms.write();
         if let Some(idx) = platforms.iter().position(|p| *p == fingerprint) {
             idx as u32
         } else {
@@ -311,7 +327,7 @@ impl SweepCache {
     {
         let shard_lock = self.shard_of(&key);
         {
-            let mut guard = shard_lock.lock().expect("sweep cache poisoned");
+            let mut guard = shard_lock.lock();
             let shard = &mut *guard;
             shard.tick += 1;
             let tick = shard.tick;
@@ -328,7 +344,7 @@ impl SweepCache {
         }
         // Evaluate outside the lock: a miss must not serialise other workers.
         let sweep = Arc::new(compute());
-        let mut guard = shard_lock.lock().expect("sweep cache poisoned");
+        let mut guard = shard_lock.lock();
         let shard = &mut *guard;
         shard.tick += 1;
         let tick = shard.tick;

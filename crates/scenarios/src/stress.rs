@@ -34,7 +34,9 @@ use std::time::Duration;
 
 use soclearn_governors::{InteractiveGovernor, OndemandGovernor};
 use soclearn_oracle::OracleObjective;
-use soclearn_runtime::obs::{Observability, Span};
+use soclearn_runtime::obs::{
+    BottleneckReport, Observability, ObservedMutex, Span, StampedInterval, TelemetryRegistry,
+};
 use soclearn_runtime::{
     Clock, DecisionKind, DriverTelemetry, QuantileSketch, QueueStamp, ScenarioDriver,
     ScenarioRecord, ScenarioSource, ScenarioSpec, SubstrateDecision, SubstratePolicies,
@@ -345,7 +347,7 @@ pub fn fifo_stamps(arrivals: &[u64], service_ns: &[u64], user_slots: usize) -> V
 /// worker count (the math is exactly [`fifo_stamps`]).
 struct QueueModel {
     user_slots: usize,
-    state: Mutex<QueueModelState>,
+    state: ObservedMutex<QueueModelState>,
     stamped_cond: Condvar,
 }
 
@@ -362,17 +364,27 @@ impl QueueModel {
     fn new(user_slots: usize, jobs: usize) -> Self {
         Self {
             user_slots,
-            state: Mutex::new(QueueModelState {
-                arrivals: vec![None; jobs],
-                stamped: vec![false; jobs],
-                user_free_ns: vec![0; user_slots],
-            }),
+            state: ObservedMutex::new(
+                "fleet_queue_model",
+                QueueModelState {
+                    arrivals: vec![None; jobs],
+                    stamped: vec![false; jobs],
+                    user_free_ns: vec![0; user_slots],
+                },
+            ),
             stamped_cond: Condvar::new(),
         }
     }
 
+    /// Observe the model's lock (the `fleet_queue_model` site) in `registry`:
+    /// a stamp blocked on its FIFO predecessor shows up as lock wait time, so
+    /// cross-worker stamp serialization is measurable, not folklore.
+    fn attach_contention(&self, registry: &TelemetryRegistry) {
+        self.state.attach(registry);
+    }
+
     fn register_arrival(&self, index: usize, arrival_ns: u64) {
-        self.state.lock().expect("queue model lock").arrivals[index] = Some(arrival_ns);
+        self.state.lock().arrivals[index] = Some(arrival_ns);
     }
 
     /// Stamps job `index` after `service_ns` of service.  Blocks until the
@@ -381,10 +393,14 @@ impl QueueModel {
     /// nothing and its worker always reaches this call.
     fn stamp(&self, index: usize, service_ns: u64) -> QueueStamp {
         let user = index % self.user_slots;
-        let mut state = self.state.lock().expect("queue model lock");
-        while index >= self.user_slots && !state.stamped[index - self.user_slots] {
-            state = self.stamped_cond.wait(state).expect("queue model wait");
-        }
+        let user_slots = self.user_slots;
+        let guard = self.state.lock();
+        // Blocked-on-predecessor time is recorded as wait at the
+        // `fleet_queue_model` site (the condvar reacquisition counts as a new
+        // timed acquisition), so FIFO-chain stalls are attributable.
+        let mut state = self.state.wait_while(guard, &self.stamped_cond, |state| {
+            index >= user_slots && !state.stamped[index - user_slots]
+        });
         let arrival_ns = state.arrivals[index].expect("scenario was claimed before being served");
         let start_ns = arrival_ns.max(state.user_free_ns[user]);
         let completion_ns = start_ns.saturating_add(service_ns);
@@ -470,6 +486,15 @@ impl FleetSource {
     /// Users this source will admit in total.
     pub fn users(&self) -> usize {
         self.users
+    }
+
+    /// Observe the queue model's lock contention in `registry` (the
+    /// `fleet_queue_model` site).  No-op unless
+    /// [`FleetSource::with_queueing`] enabled the model.
+    pub fn attach_contention(&self, registry: &TelemetryRegistry) {
+        if let Some(queue) = &self.queueing {
+            queue.attach_contention(registry);
+        }
     }
 }
 
@@ -691,6 +716,37 @@ impl FleetReport {
     pub fn family(&self, name: &str) -> Option<&FamilyTelemetry> {
         self.families.iter().find(|f| f.family == name)
     }
+
+    /// Reconstructs per-slot busy/blocked/idle timelines and the critical
+    /// path from the run's queue stamps.  `None` unless the fleet ran with
+    /// [`FleetStress::with_queueing`] and stamped at least one arrival.
+    ///
+    /// The report derives only from the schedule-relative stamps (never the
+    /// shared clock), so under a virtual clock its bytes are identical at any
+    /// worker count.  Enrich it with
+    /// [`BottleneckReport::with_span_kinds`] (still deterministic) or
+    /// [`BottleneckReport::with_lock_sites`] /
+    /// [`BottleneckReport::with_amdahl`] (measurement, varies run to run).
+    pub fn bottleneck_report(&self) -> Option<BottleneckReport> {
+        let queueing = self.queueing.as_ref()?;
+        let stamps: Vec<StampedInterval> = self
+            .records
+            .iter()
+            .filter_map(|record| {
+                record.queue.map(|stamp| StampedInterval {
+                    index: record.index as u64,
+                    slot: (record.index % queueing.user_slots) as u64,
+                    arrival_ns: stamp.arrival_ns,
+                    start_ns: stamp.start_ns,
+                    completion_ns: stamp.completion_ns,
+                })
+            })
+            .collect();
+        if stamps.is_empty() {
+            return None;
+        }
+        Some(BottleneckReport::from_stamps(&stamps))
+    }
 }
 
 /// Energy comparison of one policy fleet against a baseline fleet over the
@@ -862,6 +918,9 @@ impl FleetStress {
             .with_clock(self.clock.clone());
         if let Some(queueing) = self.queueing {
             source = source.with_queueing(queueing.user_slots);
+        }
+        if let Some(obs) = &self.obs {
+            source.attach_contention(&obs.registry);
         }
         let (telemetry, records) = driver.run_recorded_mixed(&source, &make_policies);
         let queueing = self

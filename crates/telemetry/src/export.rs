@@ -49,7 +49,7 @@ fn json_labels(id: &MetricId) -> String {
 /// Deterministic f64 rendering: integers without a trailing `.0` ambiguity
 /// concern (Rust's shortest-roundtrip formatting is platform-independent),
 /// non-finite values as `null` (JSON has no NaN/Inf).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

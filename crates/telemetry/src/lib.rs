@@ -31,19 +31,31 @@
 //!    from the `Clock` seam or from schedule-relative queue stamps, and the
 //!    export sorts spans by content, so a virtual-clock run dumps
 //!    byte-identical traces at any worker count (as long as the ring never
-//!    overflows — overflow is counted, never silent).
+//!    overflows — overflow is counted, never silent, and exported as the
+//!    `spans_dropped_total` counter).
+//! 5. Contention profiling and critical-path analysis —
+//!    [`ObservedMutex`]/[`ObservedRwLock`] give every shared lock a named
+//!    site recording acquisitions, wait and hold time into registry
+//!    sketches, and [`BottleneckReport`] turns queue stamps, the span dump,
+//!    lock samples and multi-worker throughputs ([`AmdahlFit`]) into an
+//!    attributable diagnosis of where a fleet run serializes.  The report
+//!    core derives only from schedule-relative stamps, so under the virtual
+//!    clock it is byte-identical at any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod contention;
 pub mod export;
 pub mod histogram;
 pub mod registry;
 pub mod sketch;
 pub mod span;
+pub mod timeline;
 
 pub use clock::Clock;
+pub use contention::{ObservedMutex, ObservedRwLock};
 pub use export::validate_prometheus;
 pub use histogram::LatencyHistogram;
 pub use registry::{
@@ -51,3 +63,4 @@ pub use registry::{
 };
 pub use sketch::QuantileSketch;
 pub use span::{Span, SpanRecorder};
+pub use timeline::{AmdahlFit, BottleneckReport, SiteAttribution, StampedInterval};

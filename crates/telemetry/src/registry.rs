@@ -113,24 +113,51 @@ impl HistogramCell {
     }
 }
 
-/// A [`QuantileSketch`] behind an uncontended per-metric mutex.
+/// A [`QuantileSketch`] behind an uncontended per-metric mutex, with a
+/// mutex-free side channel for zero-valued samples.
+///
+/// The zero channel exists for the contention observers: an uncontended lock
+/// acquisition records a zero wait with one relaxed atomic add
+/// ([`SketchCell::record_zero`]) instead of taking the sketch mutex — on a
+/// hot site shared by many workers the cell's own mutex would otherwise
+/// become the very serialization point it measures.  Deferred zeros are
+/// folded into every [`SketchCell::snapshot`], so exports still see one
+/// sample per event.
 #[derive(Debug, Default)]
-pub struct SketchCell(Mutex<QuantileSketch>);
+pub struct SketchCell {
+    sketch: Mutex<QuantileSketch>,
+    zeros: AtomicU64,
+}
 
 impl SketchCell {
     /// Record one value.
     pub fn record(&self, ns: u64) {
-        self.0.lock().expect("sketch lock poisoned").record(ns);
+        self.sketch.lock().expect("sketch lock poisoned").record(ns);
+    }
+
+    /// Record one zero-valued sample with a single relaxed atomic add (no
+    /// mutex). Folded into [`SketchCell::snapshot`].
+    pub fn record_zero(&self) {
+        self.zeros.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` zero-valued samples (relaxed, no mutex).
+    pub fn record_zero_n(&self, n: u64) {
+        if n > 0 {
+            self.zeros.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Fold a locally-accumulated sketch in (one lock per batch).
     pub fn merge(&self, other: &QuantileSketch) {
-        self.0.lock().expect("sketch lock poisoned").merge(other);
+        self.sketch.lock().expect("sketch lock poisoned").merge(other);
     }
 
-    /// Snapshot the current sketch.
+    /// Snapshot the current sketch, deferred zero samples included.
     pub fn snapshot(&self) -> QuantileSketch {
-        self.0.lock().expect("sketch lock poisoned").clone()
+        let mut sketch = self.sketch.lock().expect("sketch lock poisoned").clone();
+        sketch.record_n(0, self.zeros.load(Ordering::Relaxed));
+        sketch
     }
 }
 

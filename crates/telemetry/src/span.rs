@@ -17,9 +17,10 @@
 
 use std::collections::VecDeque;
 use std::io::{self, Write};
-use std::sync::Mutex;
 
+use crate::contention::ObservedMutex;
 use crate::export::escape_json;
+use crate::registry::TelemetryRegistry;
 
 /// Default ring capacity: comfortably above the span count of the CI fleet
 /// workloads (a few thousand) while bounding a runaway recorder to ~10 MB.
@@ -69,9 +70,10 @@ struct Ring {
 }
 
 /// Bounded flight recorder of [`Span`]s. Shareable across workers (interior
-/// mutex); recording is O(1) and never blocks on I/O.
+/// mutex, contention-observed under the `span_ring` site); recording is O(1)
+/// and never blocks on I/O.
 pub struct SpanRecorder {
-    ring: Mutex<Ring>,
+    ring: ObservedMutex<Ring>,
     capacity: usize,
 }
 
@@ -85,14 +87,36 @@ impl SpanRecorder {
     /// A recorder holding at most `capacity` spans (oldest evicted first).
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            ring: Mutex::new(Ring { spans: VecDeque::new(), dropped: 0 }),
+            ring: ObservedMutex::new("span_ring", Ring { spans: VecDeque::new(), dropped: 0 }),
             capacity: capacity.max(1),
+        }
+    }
+
+    /// Observe the ring lock's contention in `registry` (the `span_ring`
+    /// site) and keep `spans_dropped_total` published there — ring overflow
+    /// shows up in the JSON/Prometheus exports, not only via
+    /// [`SpanRecorder::dropped`]. Call before the run; the drop counter is
+    /// refreshed by [`SpanRecorder::publish_stats`].
+    pub fn attach_contention(&self, registry: &TelemetryRegistry) {
+        self.ring.attach(registry);
+        registry.counter("spans_dropped_total", &[]);
+    }
+
+    /// Publish the drop counter's current value into `registry` as the
+    /// monotonic `spans_dropped_total`. Idempotent: re-publishing only adds
+    /// the delta since the last publish.
+    pub fn publish_stats(&self, registry: &TelemetryRegistry) {
+        let counter = registry.counter("spans_dropped_total", &[]);
+        let dropped = self.dropped();
+        let published = counter.get();
+        if dropped > published {
+            counter.add(dropped - published);
         }
     }
 
     /// Record one span, evicting the oldest if the ring is full.
     pub fn record(&self, span: Span) {
-        let mut ring = self.ring.lock().expect("span ring poisoned");
+        let mut ring = self.ring.lock();
         if ring.spans.len() == self.capacity {
             ring.spans.pop_front();
             ring.dropped += 1;
@@ -102,7 +126,7 @@ impl SpanRecorder {
 
     /// Number of spans currently held.
     pub fn len(&self) -> usize {
-        self.ring.lock().expect("span ring poisoned").spans.len()
+        self.ring.lock().spans.len()
     }
 
     /// True when no spans are held.
@@ -113,19 +137,19 @@ impl SpanRecorder {
     /// Spans evicted because the ring was full. Non-zero breaks the
     /// byte-identity contract (the surviving window depends on timing).
     pub fn dropped(&self) -> u64 {
-        self.ring.lock().expect("span ring poisoned").dropped
+        self.ring.lock().dropped
     }
 
     /// Drop all held spans and reset the drop counter.
     pub fn clear(&self) {
-        let mut ring = self.ring.lock().expect("span ring poisoned");
+        let mut ring = self.ring.lock();
         ring.spans.clear();
         ring.dropped = 0;
     }
 
     /// Current spans, sorted by full content (the export order).
     pub fn sorted_spans(&self) -> Vec<Span> {
-        let ring = self.ring.lock().expect("span ring poisoned");
+        let ring = self.ring.lock();
         let mut spans: Vec<Span> = ring.spans.iter().cloned().collect();
         spans.sort();
         spans

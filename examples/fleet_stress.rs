@@ -41,6 +41,15 @@
 //! virtual clock every span is derived from schedule-relative stamps, so two
 //! runs produce byte-identical dumps at any worker count (CI byte-compares
 //! them), whereas wall-clock spans are live profiling data.
+//!
+//! `--bottleneck-out PATH` (requires `--virtual-clock --queueing`) writes the
+//! run's critical-path diagnosis: per-user busy/blocked/idle timelines, the
+//! longest back-to-back service chain, and attributed wait per serialization
+//! site.  The report derives only from schedule-relative queue stamps and the
+//! deterministic span dump, so its bytes are identical at any worker count —
+//! CI runs it twice and byte-compares.  `--obs-summary` prints a one-screen
+//! digest of the registry instead: top counters, sketch percentiles and the
+//! measured lock-site wait table (live wall-clock data, varies run to run).
 
 use std::time::{Duration, Instant};
 
@@ -63,6 +72,8 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
     let mut spans_out: Option<String> = None;
+    let mut bottleneck_out: Option<String> = None;
+    let mut obs_summary = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -87,10 +98,14 @@ fn main() {
             "--spans-out" => {
                 spans_out = Some(args.next().expect("--spans-out needs a file path"));
             }
+            "--bottleneck-out" => {
+                bottleneck_out = Some(args.next().expect("--bottleneck-out needs a file path"));
+            }
+            "--obs-summary" => obs_summary = true,
             other => panic!(
                 "unknown argument {other:?} (try --virtual-clock, --queueing, \
                  --substrates all, --trace-out PATH, --metrics-out PATH, --prom-out PATH, \
-                 --spans-out PATH)"
+                 --spans-out PATH, --bottleneck-out PATH, --obs-summary)"
             ),
         }
     }
@@ -102,6 +117,16 @@ fn main() {
             virtual_clock,
             "--spans-out needs --virtual-clock: wall-clock span timestamps are \
              nondeterministic, only virtual-time spans dump reproducibly"
+        );
+    }
+    if bottleneck_out.is_some() {
+        // The report's deterministic core is built from queue stamps, and
+        // only virtual-clock stamps (plus the span dump they derive) are a
+        // pure function of the workload.
+        assert!(
+            virtual_clock && queueing,
+            "--bottleneck-out needs --virtual-clock --queueing: the critical-path \
+             report is reconstructed from deterministic queue stamps"
         );
     }
 
@@ -321,6 +346,29 @@ fn main() {
         std::fs::write(path, trace_json).expect("span file writes");
         println!("Wrote {} virtual-time spans to {path}.", obs.spans.len());
     }
+    if let Some(path) = &bottleneck_out {
+        // Deterministic sections only (stamps + the sorted span dump): no
+        // lock-site or Amdahl measurement, so the bytes are identical at any
+        // worker count and CI can byte-compare two runs.
+        let report = il
+            .bottleneck_report()
+            .expect("--queueing stamps every record")
+            .with_span_kinds(&obs.spans.sorted_spans());
+        let mut json = Vec::new();
+        report.write_json(&mut json).expect("bottleneck report renders");
+        std::fs::write(path, json).expect("bottleneck file writes");
+        let top_site =
+            report.sites.first().map(|s| s.site.clone()).unwrap_or_else(|| "-".to_owned());
+        println!(
+            "Bottleneck: avg parallelism {:.2} on {} users; top serialization site \
+             {top_site}; wrote the critical-path report to {path}.",
+            report.avg_parallelism,
+            report.slots.len(),
+        );
+    }
+    if obs_summary {
+        print_obs_summary(&snapshot, &il);
+    }
 
     let il_wins = vs_ondemand
         .iter()
@@ -336,6 +384,86 @@ fn main() {
 /// A sketch quantile (the `QueueReport` ceiling-rank rule) in virtual minutes.
 fn sojourn_quantile_min(sketch: &QuantileSketch, q: f64) -> f64 {
     sketch.quantile_ns(q) as f64 / 1e9 / 60.0
+}
+
+/// Renders `--obs-summary`: the run's registry and contention digest on one
+/// screen — the top counters, the busiest duration sketches' percentiles, and
+/// attributed wait per serialization site (the schedule's FIFO queue from the
+/// stamps, when queueing ran, next to the measured lock sites).
+fn print_obs_summary(snapshot: &soclearn_runtime::obs::MetricsSnapshot, il: &FleetReport) {
+    let label_suffix = |id: &soclearn_runtime::obs::MetricId| {
+        if id.labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = id.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{{{}}}", pairs.join(","))
+        }
+    };
+
+    let mut counters: Vec<_> = snapshot.counters.iter().collect();
+    counters.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let rows: Vec<Vec<String>> = counters
+        .iter()
+        .take(8)
+        .map(|(id, value)| vec![format!("{}{}", id.name, label_suffix(id)), value.to_string()])
+        .collect();
+    println!("{}", render_table("Top counters", &["Counter", "Value"], &rows));
+
+    let mut sketches: Vec<_> = snapshot
+        .sketches
+        .iter()
+        .filter(|(id, sketch)| sketch.count() > 0 && !id.name.starts_with("lock_"))
+        .collect();
+    sketches.sort_by(|a, b| b.1.count().cmp(&a.1.count()).then_with(|| a.0.cmp(&b.0)));
+    let rows: Vec<Vec<String>> = sketches
+        .iter()
+        .take(8)
+        .map(|(id, sketch)| {
+            vec![
+                format!("{}{}", id.name, label_suffix(id)),
+                sketch.count().to_string(),
+                format!("{:.1}", sketch.quantile_ns(0.50) as f64 / 1e3),
+                format!("{:.1}", sketch.quantile_ns(0.95) as f64 / 1e3),
+                format!("{:.1}", sketch.quantile_ns(0.99) as f64 / 1e3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Busiest duration sketches (microseconds)",
+            &["Sketch", "Samples", "p50", "p95", "p99"],
+            &rows
+        )
+    );
+
+    let report = il
+        .bottleneck_report()
+        .unwrap_or_else(|| BottleneckReport::from_stamps(&[]))
+        .with_lock_sites(snapshot);
+    let rows: Vec<Vec<String>> = report
+        .sites
+        .iter()
+        .map(|site| {
+            vec![
+                site.site.clone(),
+                site.kind.clone(),
+                site.samples.to_string(),
+                site.contended.to_string(),
+                format!("{:.1}", site.wait_ns as f64 / 1e3),
+                format!("{:.1}", site.p99_wait_ns as f64 / 1e3),
+                format!("{:.1}%", site.share * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Attributed wait per serialization site (waits in microseconds)",
+            &["Site", "Kind", "Samples", "Contended", "Total wait", "p99 wait", "Share of kind"],
+            &rows
+        )
+    );
 }
 
 /// The queueing tables of a `--queueing` run: the main fleet's per-family

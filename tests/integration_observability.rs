@@ -1,13 +1,17 @@
 //! Integration tests of the observability plane: sketch/histogram merge
-//! laws (property-based), virtual-clock span-dump determinism across worker
+//! laws and observed-lock accounting invariants (property-based),
+//! virtual-clock span-dump and bottleneck-report determinism across worker
 //! counts, and the exporters (metrics JSON parses, Prometheus exposition
 //! lints).
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use soclearn_core::prelude::*;
-use soclearn_runtime::obs::validate_prometheus;
+use soclearn_runtime::obs::{
+    validate_prometheus, ObservedMutex, ObservedRwLock, TelemetryRegistry,
+};
 use soclearn_runtime::LatencyHistogram;
 use soclearn_scenarios::{json, sorted_quantile_ns};
 
@@ -128,6 +132,156 @@ proptest! {
             "from_sorted_ns != merged parts"
         );
     }
+
+    /// Observed-lock accounting is exact for any mix of pre-attach locks,
+    /// post-attach locks and rwlock reads/writes sharing a site name: the
+    /// acquisition counter sees every acquisition, the snapshotted wait
+    /// sketch has exactly one sample per acquisition, and the hold sketch
+    /// has exactly one sample per contended acquisition (none here — the
+    /// sequence is single-threaded, so nothing ever blocks).
+    #[test]
+    fn observed_lock_accounting_is_exact(
+        pre in 0u64..8,
+        post in 0u64..16,
+        reads in 0u64..8,
+        writes in 0u64..8,
+    ) {
+        let registry = TelemetryRegistry::new();
+        let lock = ObservedMutex::new("prop_site", 0u64);
+        for _ in 0..pre {
+            drop(lock.lock());
+        }
+        lock.attach(&registry);
+        for _ in 0..post {
+            *lock.lock() += 1;
+        }
+        let rw = ObservedRwLock::new("prop_site", ());
+        rw.attach(&registry);
+        for _ in 0..reads {
+            drop(rw.read());
+        }
+        for _ in 0..writes {
+            drop(rw.write());
+        }
+        let total = pre + post + reads + writes;
+        let snap = registry.snapshot();
+        prop_assert!(
+            snap.counter("lock_acquisitions_total", &[("site", "prop_site")]) == Some(total),
+            "acquisition counter must see every acquisition"
+        );
+        prop_assert!(
+            snap.counter("lock_contended_total", &[("site", "prop_site")]) == Some(0),
+            "single-threaded sequence must never contend"
+        );
+        let wait = snap
+            .sketches
+            .iter()
+            .find(|(id, _)| id.name == "lock_wait_ns")
+            .expect("wait sketch registered on attach");
+        prop_assert!(wait.1.count() == total, "one wait sample per acquisition");
+        prop_assert!(wait.1.sum_ns() == 0, "uncontended waits are zero samples");
+        let hold = snap
+            .sketches
+            .iter()
+            .find(|(id, _)| id.name == "lock_hold_ns")
+            .expect("hold sketch registered on attach");
+        prop_assert!(hold.1.count() == 0, "hold samples come only from contention");
+    }
+
+    /// Per-site wait sketches from independently attached registries merge
+    /// associatively and commutatively, with counts adding — fleet-level
+    /// aggregation of contention sites cannot depend on merge order.
+    #[test]
+    fn site_sketches_merge_associatively(
+        a in 0u64..12,
+        b in 0u64..12,
+        c in 0u64..12,
+    ) {
+        let wait_sketch_of = |locks: u64| {
+            let registry = TelemetryRegistry::new();
+            let lock = ObservedMutex::new("merge_site", ());
+            lock.attach(&registry);
+            for _ in 0..locks {
+                drop(lock.lock());
+            }
+            let snap = registry.snapshot();
+            snap.sketches
+                .iter()
+                .find(|(id, _)| id.name == "lock_wait_ns")
+                .expect("wait sketch registered")
+                .1
+                .clone()
+        };
+        let (sa, sb, sc) = (wait_sketch_of(a), wait_sketch_of(b), wait_sketch_of(c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut tail = sb.clone();
+        tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&tail);
+        prop_assert!(left == right, "site sketch merge is not associative");
+        let mut swapped = sc;
+        swapped.merge(&sb);
+        swapped.merge(&sa);
+        prop_assert!(left == swapped, "site sketch merge is not commutative");
+        prop_assert!(left.count() == a + b + c, "merged counts must add");
+    }
+}
+
+/// Wait and hold samples are wall-clock measurements taken strictly inside
+/// the run: with `n` threads hammering one attached site, every per-site
+/// total is bounded by `n` times the enclosing wall span (hold ⊆ wall), and
+/// the hold sketch counts exactly the contended acquisitions.
+#[test]
+fn lock_waits_and_holds_fit_inside_the_wall_span() {
+    const THREADS: u64 = 4;
+    const LOCKS_PER_THREAD: u64 = 300;
+    let registry = TelemetryRegistry::new();
+    let lock = Arc::new(ObservedMutex::new("walled", 0u64));
+    lock.attach(&registry);
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..LOCKS_PER_THREAD {
+                    let mut guard = lock.lock();
+                    *guard += 1;
+                    std::hint::black_box(&mut *guard);
+                }
+            });
+        }
+    });
+    let wall_ns = wall_start.elapsed().as_nanos();
+    assert_eq!(*lock.lock(), THREADS * LOCKS_PER_THREAD);
+
+    let snap = registry.snapshot();
+    let acquisitions = snap
+        .counter("lock_acquisitions_total", &[("site", "walled")])
+        .expect("acquisition counter");
+    assert_eq!(acquisitions, THREADS * LOCKS_PER_THREAD + 1);
+    let contended = snap
+        .counter("lock_contended_total", &[("site", "walled")])
+        .expect("contended counter");
+    let wait = &snap
+        .sketches
+        .iter()
+        .find(|(id, _)| id.name == "lock_wait_ns")
+        .expect("wait sketch")
+        .1;
+    let hold = &snap
+        .sketches
+        .iter()
+        .find(|(id, _)| id.name == "lock_hold_ns")
+        .expect("hold sketch")
+        .1;
+    assert_eq!(wait.count(), acquisitions, "one wait sample per acquisition");
+    assert_eq!(hold.count(), contended, "one hold sample per contended acquisition");
+    // Each thread's waits and holds happen sequentially inside the wall
+    // span, so the cross-thread totals are bounded by THREADS * wall.
+    let budget = wall_ns * u128::from(THREADS);
+    assert!(wait.sum_ns() <= budget, "total wait {} exceeds {}", wait.sum_ns(), budget);
+    assert!(hold.sum_ns() <= budget, "total hold {} exceeds {}", hold.sum_ns(), budget);
 }
 
 /// A small deterministic queueing fleet on the virtual clock, instrumented
@@ -186,6 +340,46 @@ fn span_dump_reproduces_across_runs() {
     assert_eq!(chrome_trace_of(&first), chrome_trace_of(&second));
 }
 
+fn bottleneck_json_of(obs: &Observability, report: &FleetReport) -> Vec<u8> {
+    let bottleneck = report
+        .bottleneck_report()
+        .expect("queueing stamps every record")
+        .with_span_kinds(&obs.spans.sorted_spans());
+    let mut out = Vec::new();
+    bottleneck.write_json(&mut out).expect("bottleneck report renders");
+    out
+}
+
+/// The tentpole acceptance gate: the critical-path report is derived from
+/// schedule-relative queue stamps and span kinds only (wall-clock lock
+/// timings stay in the metrics export), so under the virtual clock it is
+/// byte-identical at 1, 2 and 4 workers — and it names the per-user FIFO
+/// admission queue as a concrete serialization site.
+#[test]
+fn bottleneck_report_bit_identical_across_worker_counts() {
+    let (obs1, report1) = instrumented_queueing_run(1);
+    let (obs2, report2) = instrumented_queueing_run(2);
+    let (obs4, report4) = instrumented_queueing_run(4);
+    let json1 = bottleneck_json_of(&obs1, &report1);
+    assert!(!json1.is_empty(), "queueing run must produce a bottleneck report");
+    assert_eq!(
+        json1,
+        bottleneck_json_of(&obs2, &report2),
+        "1-worker and 2-worker bottleneck reports diverged"
+    );
+    assert_eq!(
+        json1,
+        bottleneck_json_of(&obs4, &report4),
+        "1-worker and 4-worker bottleneck reports diverged"
+    );
+    let text = String::from_utf8(json1).expect("report is UTF-8");
+    assert!(text.contains("\"bottleneck_schema\": 1"), "schema marker missing");
+    assert!(
+        text.contains("\"site\": \"fifo_queue\""),
+        "report must name the FIFO queue serialization site"
+    );
+}
+
 /// Both text exporters hold up on a real instrumented run: the metrics JSON
 /// parses with the workspace JSON parser and carries the driver counters, and
 /// the Prometheus exposition passes the format lint.
@@ -211,6 +405,11 @@ fn exporters_parse_and_lint() {
         .counter("driver_decisions_total", &[("substrate", "cpu")])
         .expect("cpu decision counter registered");
     assert_eq!(decisions as usize, report.telemetry.decisions);
+    assert_eq!(
+        snapshot.counter("spans_dropped_total", &[]),
+        Some(0),
+        "the flight-recorder drop counter must be exported and zero"
+    );
 
     let prometheus = snapshot.to_prometheus();
     validate_prometheus(&prometheus).expect("Prometheus exposition lints");
