@@ -68,11 +68,13 @@ pub mod prelude {
         DriverTelemetry, ExperimentScale, FrameDemand, GpuServing, GpuSessionSpec, NocServing,
         NocSessionSpec, Observability, QuantileSketch, QueueStamp, ScenarioDriver, ScenarioSource,
         ScenarioSpec, SliceSource, SubstrateDecision, SubstratePolicies, SubstrateRecord,
-        SubstrateTelemetry, SubstrateWork, SweepCache, SweepEngine, TrainingArtifacts,
+        SubstrateTelemetry, SubstrateWork, SweepCache, SweepEngine, SweepL1Stats,
+        TrainingArtifacts,
     };
     pub use soclearn_scenarios::{
-        fifo_stamps, replay, ArrivalSchedule, FleetReport, FleetSource, FleetStress, PhasePattern,
-        QueueReport, QueueingConfig, ScenarioGenerator, SnippetDistribution, Trace, TraceDiff,
+        fifo_stamps, replay, ArrivalSchedule, FleetDrainReport, FleetReport, FleetSource,
+        FleetStress, PhasePattern, QueueReport, QueueingConfig, ScenarioGenerator,
+        SnippetDistribution, Trace, TraceDiff,
     };
     pub use soclearn_soc_sim::{
         DvfsConfig, DvfsPolicy, PolicyDecision, SnippetCounters, SnippetExecution, SocPlatform,

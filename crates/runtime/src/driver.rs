@@ -41,7 +41,7 @@ use crate::substrate::{
     DecisionKind, GpuAdapter, NocModel, SubstrateDecision, SubstratePolicies, SubstrateRecord,
     SubstrateWork,
 };
-use crate::sweep::{SweepCache, SweepCacheStats, SweepEngine};
+use crate::sweep::{SweepCache, SweepCacheStats, SweepEngine, SweepL1Stats};
 
 /// One independent user: a named sequence of substrate segments to serve end
 /// to end.  Pure-CPU scenarios (the original serving path) are a single
@@ -318,6 +318,11 @@ pub struct DriverTelemetry {
     pub oracle_agreement: Option<f64>,
     /// Hit/miss statistics of the shared sweep cache.
     pub cache: SweepCacheStats,
+    /// Aggregated counters of the per-worker L1 warm tiers (zero-lock hit
+    /// path of the Oracle-reference engines); all-zero when the driver runs
+    /// without an Oracle reference or with the L1 disabled
+    /// ([`ScenarioDriver::without_worker_l1`]).
+    pub l1: SweepL1Stats,
     /// Per-substrate decision/energy/time breakdown, canonical order
     /// (cross-substrate energy accounting of a heterogeneous fleet).
     pub substrates: [SubstrateTelemetry; 3],
@@ -341,6 +346,9 @@ pub struct ScenarioDriver {
     /// Observability plane: metrics registry + span flight recorder. `None`
     /// (the default) instruments nothing and costs nothing on the hot path.
     obs: Option<Observability>,
+    /// Per-worker L1 warm tier over the shared sweep cache:
+    /// `(capacity, publish_every)`, on by default.
+    worker_l1: Option<(usize, usize)>,
 }
 
 impl ScenarioDriver {
@@ -360,7 +368,37 @@ impl ScenarioDriver {
             clock: Clock::wall(),
             service_dilation: None,
             obs: None,
+            worker_l1: Some((
+                SweepEngine::DEFAULT_L1_CAPACITY,
+                SweepEngine::DEFAULT_L1_PUBLISH_EVERY,
+            )),
         }
+    }
+
+    /// Re-sizes the per-worker L1 warm tier each worker's Oracle-reference
+    /// engine keeps over the shared sweep cache (default: on, with
+    /// [`SweepEngine::DEFAULT_L1_CAPACITY`] /
+    /// [`SweepEngine::DEFAULT_L1_PUBLISH_EVERY`]).  Results are bit-identical
+    /// either way; the L1 only removes shard-lock traffic from the warm path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `publish_every` is zero.
+    #[must_use]
+    pub fn with_worker_l1(mut self, capacity: usize, publish_every: usize) -> Self {
+        assert!(capacity > 0, "L1 capacity must be positive");
+        assert!(publish_every > 0, "L1 publish interval must be positive");
+        self.worker_l1 = Some((capacity, publish_every));
+        self
+    }
+
+    /// Disables the per-worker L1 warm tier: every sweep lookup goes to the
+    /// shared shards, as before the tier existed.  The escape hatch for
+    /// measuring the shared path (benchmarks) or minimising per-worker memory.
+    #[must_use]
+    pub fn without_worker_l1(mut self) -> Self {
+        self.worker_l1 = None;
+        self
     }
 
     /// Publishes serving telemetry into an [`Observability`] plane: per-run,
@@ -612,10 +650,12 @@ impl ScenarioDriver {
         let mut queue_delay = LatencyHistogram::new();
         let mut workers = Vec::with_capacity(worker_slots.len());
         let mut records = Vec::new();
+        let mut l1 = SweepL1Stats::default();
         for slot in worker_slots {
             latency.merge(&slot.latency);
             sojourn.merge(&slot.sojourn);
             queue_delay.merge(&slot.queue_delay);
+            l1.merge(&slot.l1);
             workers.push(slot.telemetry);
             records.extend(slot.records);
         }
@@ -649,6 +689,7 @@ impl ScenarioDriver {
                 }
             }),
             cache: self.cache.stats(),
+            l1,
             substrates,
             workers,
         };
@@ -687,6 +728,13 @@ impl ScenarioDriver {
         reg.histogram("driver_queue_delay_hist_ns", &[]).merge(&telemetry.queue_delay);
         reg.gauge("sweep_cache_hit_rate", &[]).set(telemetry.cache.hit_rate());
         reg.gauge("sweep_cache_entries", &[]).set(telemetry.cache.entries as f64);
+        // Per-run quantities (each worker's L1 dies with its run), so
+        // counter adds accumulate correctly across runs.
+        reg.counter("driver_l1_hits_total", &[]).add(telemetry.l1.hits);
+        reg.counter("driver_l1_shared_hits_total", &[]).add(telemetry.l1.shared_hits);
+        reg.counter("driver_l1_misses_total", &[]).add(telemetry.l1.misses);
+        reg.counter("driver_l1_publishes_total", &[]).add(telemetry.l1.publishes);
+        reg.gauge("driver_l1_warm_hit_rate", &[]).set(telemetry.l1.warm_hit_rate());
     }
 
     /// Worker loop: claim scenarios until the source drains.
@@ -711,10 +759,15 @@ impl ScenarioDriver {
             queue_delay: LatencyHistogram::new(),
             records: Vec::new(),
             max_completion_ns: 0,
+            l1: SweepL1Stats::default(),
         };
-        let mut oracle_engine = self
-            .oracle_reference
-            .map(|_| SweepEngine::with_cache(self.platform.clone(), Arc::clone(&self.cache)));
+        let mut oracle_engine = self.oracle_reference.map(|_| {
+            let engine = SweepEngine::with_cache(self.platform.clone(), Arc::clone(&self.cache));
+            match self.worker_l1 {
+                Some((capacity, publish_every)) => engine.with_warm_l1(capacity, publish_every),
+                None => engine,
+            }
+        });
 
         while let Some((index, scenario)) = source.next_scenario() {
             // In service-time mode later arrivals of the same user block on
@@ -742,6 +795,14 @@ impl ScenarioDriver {
                     source.scenario_served(index, service_ns);
                 }
                 std::panic::resume_unwind(panic);
+            }
+        }
+        if let Some(engine) = &oracle_engine {
+            // Push any still-buffered locally-computed sweeps to the shared
+            // shards so later runs on the same cache start warm.
+            engine.flush_l1();
+            if let Some(stats) = engine.l1_stats() {
+                slot.l1 = stats;
             }
         }
         slot
@@ -1016,6 +1077,9 @@ struct WorkerSlot {
     /// Latest queueing-timeline completion stamp this worker observed; the
     /// run's `wall_seconds` is the maximum across workers.
     max_completion_ns: u64,
+    /// Final counters of this worker's private L1 warm tier (all-zero when
+    /// the run had no Oracle-reference engine or the L1 is disabled).
+    l1: SweepL1Stats,
 }
 
 #[cfg(test)]
@@ -1066,9 +1130,40 @@ mod tests {
         let telemetry = driver.run(&specs, |_, _| Box::new(OndemandGovernor::new(&platform)));
         let agreement = telemetry.oracle_agreement.expect("reference was requested");
         assert!((0.0..=1.0).contains(&agreement));
-        // Six identical scenario oracle runs: the first misses per snippet, the
-        // other five hit.
-        assert!(telemetry.cache.hits > 0, "identical users must share sweeps");
+        // Six identical scenario oracle runs: the first misses per snippet,
+        // the rest hit — in the worker's private L1 warm tier (the default)
+        // or, across workers, in the shared shards.
+        let warm_hits = telemetry.l1.hits + telemetry.l1.shared_hits + telemetry.cache.hits;
+        assert!(warm_hits > 0, "identical users must share sweeps");
+        assert!(
+            telemetry.l1.hits + telemetry.l1.misses + telemetry.l1.shared_hits > 0,
+            "oracle sweeps must route through the per-worker L1 by default"
+        );
+    }
+
+    #[test]
+    fn worker_l1_is_transparent_to_run_results() {
+        let platform = SocPlatform::small();
+        let specs = scenarios(6);
+        let serve = |driver: ScenarioDriver| {
+            driver.run(&specs, |_, _| Box::new(OndemandGovernor::new(&platform)))
+        };
+        let with_l1 = serve(
+            ScenarioDriver::new(platform.clone(), 1).with_oracle_reference(OracleObjective::Energy),
+        );
+        let without = serve(
+            ScenarioDriver::new(platform.clone(), 1)
+                .with_oracle_reference(OracleObjective::Energy)
+                .without_worker_l1(),
+        );
+        assert_eq!(with_l1.oracle_agreement, without.oracle_agreement);
+        assert_eq!(with_l1.total_energy_j.to_bits(), without.total_energy_j.to_bits());
+        assert_eq!(with_l1.simulated_time_s.to_bits(), without.simulated_time_s.to_bits());
+        assert!(with_l1.l1.hits > 0, "repeated users should warm the L1");
+        assert_eq!(without.l1, SweepL1Stats::default());
+        // The worker flushes its pending batch on drain, so the shared cache
+        // ends up warm either way.
+        assert!(with_l1.cache.entries > 0, "flush must publish L1-computed sweeps");
     }
 
     #[test]

@@ -74,4 +74,4 @@ pub use substrate::{
     NocDecisionRecord, NocServing, NocSessionSpec, SubstrateDecision, SubstratePolicies,
     SubstrateRecord, SubstrateWork, TrafficPattern,
 };
-pub use sweep::{SweepCache, SweepCacheStats, SweepEngine};
+pub use sweep::{SweepCache, SweepCacheStats, SweepEngine, SweepL1Stats};

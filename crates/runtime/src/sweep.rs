@@ -25,7 +25,19 @@
 //! The cache is **lock-striped**: entries live in [`SweepCache::DEFAULT_SHARDS`]
 //! independently-mutexed segments selected by the key's hash, so concurrent
 //! workers hitting different snippets no longer serialise on one global mutex.
+//!
+//! On top of the shared shards sits an optional **per-worker L1 warm tier**
+//! ([`SweepEngine::with_warm_l1`]): a thread-private LRU view of the shared
+//! cache.  Warm-path hits are answered with **zero lock acquisitions**;
+//! L1 misses probe the shared shards once (one lock) and fill the private
+//! tier; shared misses are computed locally and published back to the shards
+//! in batches (one lock per touched shard per batch) so other workers still
+//! deduplicate against this worker's results.  Keys are exact bit patterns,
+//! so every tier answers with results bit-identical to fresh evaluation —
+//! the `prop_invariants` suite holds any interleaving of fills and publishes
+//! to the shared-path reference.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -96,6 +108,137 @@ impl SweepCacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Counters of one worker's private L1 warm tier
+/// ([`SweepEngine::with_warm_l1`]); aggregated across workers in the driver's
+/// run telemetry via [`SweepL1Stats::merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepL1Stats {
+    /// Lookups answered from the private tier with **zero** lock acquisitions.
+    pub hits: u64,
+    /// L1 misses answered by the shared shards (one shard lock, fills the L1).
+    pub shared_hits: u64,
+    /// Lookups that had to evaluate the simulator (counted once, here; the
+    /// shared shard counted the same event as its own miss during the probe).
+    pub misses: u64,
+    /// Private entries evicted to respect the L1 capacity bound.
+    pub evictions: u64,
+    /// Batches of locally-computed sweeps pushed back to the shared shards.
+    pub publishes: u64,
+    /// Entries currently resident in the private tier.
+    pub entries: usize,
+}
+
+impl SweepL1Stats {
+    /// Fraction of lookups answered without touching any lock.
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.hits + self.shared_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another worker's counters into this one.
+    pub fn merge(&mut self, other: &SweepL1Stats) {
+        self.hits += other.hits;
+        self.shared_hits += other.shared_hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.publishes += other.publishes;
+        self.entries += other.entries;
+    }
+}
+
+/// A batch of locally-computed sweeps headed for the shared shards.
+type SweepBatch = Vec<(SweepKey, Arc<Vec<SnippetExecution>>)>;
+
+/// A worker-private warm tier over the shared [`SweepCache`]: an unlocked LRU
+/// map plus a buffer of locally-computed sweeps awaiting batch publication.
+#[derive(Debug)]
+struct SweepL1 {
+    entries: HashMap<SweepKey, (u64, Arc<Vec<SnippetExecution>>)>,
+    /// Recency index, same scheme as [`SweepShard::order`].
+    order: BTreeMap<u64, SweepKey>,
+    tick: u64,
+    capacity: usize,
+    publish_every: usize,
+    /// Locally-computed sweeps not yet pushed to the shared shards.
+    pending: SweepBatch,
+    hits: u64,
+    shared_hits: u64,
+    misses: u64,
+    evictions: u64,
+    publishes: u64,
+}
+
+impl SweepL1 {
+    fn new(capacity: usize, publish_every: usize) -> Self {
+        assert!(capacity > 0, "L1 capacity must be positive");
+        assert!(publish_every > 0, "L1 publish interval must be positive");
+        Self {
+            entries: HashMap::with_capacity(capacity),
+            order: BTreeMap::new(),
+            tick: 0,
+            capacity,
+            publish_every,
+            pending: Vec::with_capacity(publish_every),
+            hits: 0,
+            shared_hits: 0,
+            misses: 0,
+            evictions: 0,
+            publishes: 0,
+        }
+    }
+
+    fn get(&mut self, key: &SweepKey) -> Option<Arc<Vec<SnippetExecution>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        let old_tick = entry.0;
+        entry.0 = tick;
+        let sweep = Arc::clone(&entry.1);
+        self.order.remove(&old_tick);
+        self.order.insert(tick, *key);
+        self.hits += 1;
+        Some(sweep)
+    }
+
+    fn insert(&mut self, key: SweepKey, sweep: Arc<Vec<SnippetExecution>>) {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                let old_tick = occupied.get().0;
+                occupied.get_mut().0 = tick;
+                self.order.remove(&old_tick);
+                self.order.insert(tick, key);
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert((tick, sweep));
+                self.order.insert(tick, key);
+                if self.entries.len() > self.capacity {
+                    if let Some((_, oldest_key)) = self.order.pop_first() {
+                        self.entries.remove(&oldest_key);
+                        self.evictions += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> SweepL1Stats {
+        SweepL1Stats {
+            hits: self.hits,
+            shared_hits: self.shared_hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            publishes: self.publishes,
+            entries: self.entries.len(),
         }
     }
 }
@@ -216,11 +359,16 @@ impl SweepCache {
         self.shards.len()
     }
 
-    /// The shard responsible for `key`.
-    fn shard_of(&self, key: &SweepKey) -> &ObservedMutex<SweepShard> {
+    /// Index of the shard responsible for `key`.
+    fn shard_index(&self, key: &SweepKey) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// The shard responsible for `key`.
+    fn shard_of(&self, key: &SweepKey) -> &ObservedMutex<SweepShard> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Current hit/miss statistics, aggregated over all shards.
@@ -372,6 +520,66 @@ impl SweepCache {
         }
         sweep
     }
+
+    /// Looks `key` up in its shared shard without computing on miss: the L1
+    /// fill path.  A hit refreshes recency and counts as a shard hit; a miss
+    /// counts as a shard miss (the caller computes locally and later
+    /// [`SweepCache::publish`]es, which therefore does **not** count again).
+    fn probe(&self, key: &SweepKey) -> Option<Arc<Vec<SnippetExecution>>> {
+        let mut guard = self.shard_of(key).lock();
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(entry) = shard.entries.get_mut(key) {
+            let old_tick = entry.0;
+            entry.0 = tick;
+            let sweep = Arc::clone(&entry.1);
+            shard.order.remove(&old_tick);
+            shard.order.insert(tick, *key);
+            shard.hits += 1;
+            Some(sweep)
+        } else {
+            shard.misses += 1;
+            None
+        }
+    }
+
+    /// Batch-inserts locally-computed sweeps, locking each touched shard once
+    /// per batch.  Keys already resident (a racing worker published first)
+    /// keep their resident value — with exact keys the values are
+    /// bit-identical anyway — and only have their recency refreshed.
+    fn publish(&self, batch: SweepBatch) {
+        let mut groups: HashMap<usize, SweepBatch> = HashMap::new();
+        for (key, sweep) in batch {
+            groups.entry(self.shard_index(&key)).or_default().push((key, sweep));
+        }
+        for (index, group) in groups {
+            let mut guard = self.shards[index].lock();
+            let shard = &mut *guard;
+            for (key, sweep) in group {
+                shard.tick += 1;
+                let tick = shard.tick;
+                match shard.entries.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                        let old_tick = occupied.get().0;
+                        occupied.get_mut().0 = tick;
+                        shard.order.remove(&old_tick);
+                        shard.order.insert(tick, key);
+                    }
+                    std::collections::hash_map::Entry::Vacant(vacant) => {
+                        vacant.insert((tick, sweep));
+                        shard.order.insert(tick, key);
+                        if shard.entries.len() > self.capacity_per_shard {
+                            if let Some((_, oldest_key)) = shard.order.pop_first() {
+                                shard.entries.remove(&oldest_key);
+                                shard.evictions += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Default for SweepCache {
@@ -392,9 +600,19 @@ pub struct SweepEngine {
     sim: SocSimulator,
     cache: Arc<SweepCache>,
     platform_id: u32,
+    /// Optional private warm tier; `RefCell` because the engine is a
+    /// per-worker object (`Send`, deliberately not `Sync` once attached).
+    l1: Option<RefCell<SweepL1>>,
 }
 
 impl SweepEngine {
+    /// Default capacity of the per-worker warm tier (sweeps).
+    pub const DEFAULT_L1_CAPACITY: usize = 512;
+
+    /// Default number of locally-computed sweeps buffered before a batch is
+    /// published back to the shared shards.
+    pub const DEFAULT_L1_PUBLISH_EVERY: usize = 32;
+
     /// Creates an engine with a private cache.
     pub fn new(platform: SocPlatform) -> Self {
         Self::with_cache(platform, Arc::new(SweepCache::new()))
@@ -403,7 +621,42 @@ impl SweepEngine {
     /// Creates an engine backed by a shared cache.
     pub fn with_cache(platform: SocPlatform, cache: Arc<SweepCache>) -> Self {
         let platform_id = cache.platform_id(&platform);
-        Self { sim: SocSimulator::new(platform), cache, platform_id }
+        Self { sim: SocSimulator::new(platform), cache, platform_id, l1: None }
+    }
+
+    /// Attaches a private L1 warm tier: `capacity` resident sweeps served with
+    /// zero lock acquisitions, and locally-computed results published back to
+    /// the shared shards every `publish_every` misses (plus whenever
+    /// [`SweepEngine::flush_l1`] runs).  Results stay bit-identical to the
+    /// shared path — keys are the same exact bit patterns in every tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `publish_every` is zero.
+    pub fn with_warm_l1(mut self, capacity: usize, publish_every: usize) -> Self {
+        self.l1 = Some(RefCell::new(SweepL1::new(capacity, publish_every)));
+        self
+    }
+
+    /// Counters of the private warm tier, or `None` if no L1 is attached.
+    pub fn l1_stats(&self) -> Option<SweepL1Stats> {
+        self.l1.as_ref().map(|cell| cell.borrow().stats())
+    }
+
+    /// Publishes any locally-computed sweeps still buffered in the private
+    /// tier back to the shared shards, so later runs (and other workers)
+    /// deduplicate against everything this engine computed.  The driver calls
+    /// this when a worker drains; no-op without an L1 or with an empty buffer.
+    pub fn flush_l1(&self) {
+        let Some(cell) = &self.l1 else { return };
+        let mut l1 = cell.borrow_mut();
+        if l1.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut l1.pending);
+        l1.publishes += 1;
+        drop(l1);
+        self.cache.publish(batch);
     }
 
     /// The underlying simulator (thermal state, accumulated energy/time).
@@ -428,10 +681,39 @@ impl SweepEngine {
 
     /// Evaluates the snippet at **every** platform configuration (in
     /// [`SocPlatform::configs`] order), served from the cache when possible.
+    ///
+    /// With an attached L1 ([`SweepEngine::with_warm_l1`]) the lookup is
+    /// tiered: private map (zero locks) → shared shard (one lock, fills the
+    /// L1) → local evaluation (no lock held while computing; the result is
+    /// buffered and batch-published).  All tiers answer bit-identically.
     pub fn sweep(&self, profile: &SnippetProfile) -> Arc<Vec<SnippetExecution>> {
         let key = self.cache.key(self.platform_id, profile, &self.sim);
-        let sim = &self.sim;
-        self.cache.get_or_compute(key, || sim.evaluate_all_configs(profile))
+        let Some(cell) = &self.l1 else {
+            let sim = &self.sim;
+            return self.cache.get_or_compute(key, || sim.evaluate_all_configs(profile));
+        };
+        if let Some(sweep) = cell.borrow_mut().get(&key) {
+            return sweep;
+        }
+        if let Some(sweep) = self.cache.probe(&key) {
+            let mut l1 = cell.borrow_mut();
+            l1.shared_hits += 1;
+            l1.insert(key, Arc::clone(&sweep));
+            return sweep;
+        }
+        // Shared miss (counted by the probe): evaluate with no lock held.
+        let sweep = Arc::new(self.sim.evaluate_all_configs(profile));
+        let mut l1 = cell.borrow_mut();
+        l1.misses += 1;
+        l1.insert(key, Arc::clone(&sweep));
+        l1.pending.push((key, Arc::clone(&sweep)));
+        if l1.pending.len() >= l1.publish_every {
+            let batch = std::mem::take(&mut l1.pending);
+            l1.publishes += 1;
+            drop(l1);
+            self.cache.publish(batch);
+        }
+        sweep
     }
 
     /// Sweeps the snippet and returns the best configuration under `objective`
@@ -664,6 +946,70 @@ mod tests {
             1,
             "quantised cache should coalesce near-identical snippets"
         );
+    }
+
+    #[test]
+    fn warm_l1_is_bit_transparent_to_the_shared_path() {
+        let platform = SocPlatform::small();
+        let shared = SweepEngine::new(platform.clone());
+        let warm = SweepEngine::new(platform).with_warm_l1(64, 4);
+        for profile in profiles().iter().cycle().take(9) {
+            let a = shared.sweep(profile);
+            let b = warm.sweep(profile);
+            assert_eq!(*a, *b, "L1 tier must not change results");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits());
+                assert_eq!(x.time_s.to_bits(), y.time_s.to_bits());
+            }
+        }
+        let stats = warm.l1_stats().expect("L1 attached");
+        assert_eq!(stats.misses, 3, "one evaluation per distinct profile");
+        assert_eq!(stats.hits, 6, "repeats served lock-free from the L1");
+        assert_eq!(stats.shared_hits, 0, "nothing was resident in the shared tier first");
+        assert!(stats.warm_hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn warm_l1_publishes_batches_and_fills_from_the_shared_shards() {
+        let platform = SocPlatform::small();
+        let cache = Arc::new(SweepCache::new());
+        let writer =
+            SweepEngine::with_cache(platform.clone(), Arc::clone(&cache)).with_warm_l1(64, 2);
+        let seq = profiles();
+        for profile in &seq {
+            let _ = writer.sweep(profile);
+        }
+        // publish_every = 2: the first batch went out mid-run, the third
+        // result is still buffered until the flush.
+        assert_eq!(cache.stats().entries, 2);
+        writer.flush_l1();
+        assert_eq!(cache.stats().entries, 3, "flush publishes the remainder");
+        assert_eq!(writer.l1_stats().unwrap().publishes, 2);
+
+        // A second worker on the same shared cache is warmed by the first
+        // worker's published results: shared hits, no evaluations.
+        let reader = SweepEngine::with_cache(platform, Arc::clone(&cache)).with_warm_l1(64, 2);
+        for profile in &seq {
+            let _ = reader.sweep(profile);
+            let _ = reader.sweep(profile);
+        }
+        let stats = reader.l1_stats().unwrap();
+        assert_eq!(stats.misses, 0, "everything was published by the writer");
+        assert_eq!(stats.shared_hits, 3);
+        assert_eq!(stats.hits, 3, "repeats served from the freshly filled L1");
+    }
+
+    #[test]
+    fn warm_l1_eviction_respects_capacity() {
+        let platform = SocPlatform::small();
+        let engine = SweepEngine::new(platform).with_warm_l1(2, 64);
+        for instructions in [1_000_000u64, 2_000_000, 3_000_000, 4_000_000] {
+            let _ = engine.sweep(&SnippetProfile::compute_bound(instructions));
+        }
+        let stats = engine.l1_stats().unwrap();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.misses, 4);
     }
 
     #[test]

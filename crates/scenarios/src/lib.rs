@@ -54,6 +54,7 @@ pub use generator::{
 };
 pub use stress::{
     fifo_stamps, sorted_quantile_ns, ArrivalPlan, ArrivalSchedule, FamilyEnergyDelta,
-    FamilyTelemetry, FleetReport, FleetSource, FleetStress, QueueReport, QueueingConfig,
+    FamilyTelemetry, FleetDrainReport, FleetReport, FleetSource, FleetStress, QueueReport,
+    QueueingConfig,
 };
 pub use trace::{replay, ReplayReport, ScenarioTrace, Trace, TraceDiff, TraceError};

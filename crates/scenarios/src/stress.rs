@@ -27,10 +27,11 @@
 //! [`FamilyTelemetry`]) is computed from schedule-relative [`QueueStamp`]s in
 //! scenario-index order — bit-deterministic at any worker count.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use soclearn_governors::{InteractiveGovernor, OndemandGovernor};
 use soclearn_oracle::OracleObjective;
@@ -334,6 +335,53 @@ pub fn fifo_stamps(arrivals: &[u64], service_ns: &[u64], user_slots: usize) -> V
         .collect()
 }
 
+/// The event calendar behind a queue-aware [`FleetSource`]: a binary-heap
+/// scheduler over the [`ArrivalPlan`], one cursor lane per user slot.
+///
+/// Lane `s` walks the indices of user `s` (`s`, `s + slots`, `s + 2·slots`,
+/// …); the heap holds each live lane's **next** event keyed by
+/// `(due_ns, index)`.  A claim pops the earliest event and pushes the lane's
+/// successor, so a fleet of a million mostly-idle users costs
+/// O(`user_slots`) resident state and O(log `user_slots`) per claim —
+/// nothing is scanned between events.  Arrival offsets are non-decreasing in
+/// index for every [`ArrivalSchedule`], so the lexicographic `(due, index)`
+/// pop order **is** index order and the scheduler is byte-for-byte
+/// output-equivalent to the sequential-claim path it replaces.
+struct EventCalendar {
+    lanes: usize,
+    total: usize,
+    heap: ObservedMutex<BinaryHeap<Reverse<(u64, usize)>>>,
+}
+
+impl EventCalendar {
+    fn new(lanes: usize, total: usize, plan: &ArrivalPlan) -> Self {
+        // Seed every lane with its first index.  Offsets walk the memoised
+        // plan in index order, so seeding is one O(lanes) prefix pass.
+        let heap: BinaryHeap<Reverse<(u64, usize)>> = (0..lanes.min(total))
+            .map(|index| Reverse((plan.offset(index).as_nanos() as u64, index)))
+            .collect();
+        Self { lanes, total, heap: ObservedMutex::new("fleet_calendar", heap) }
+    }
+
+    /// Observe the calendar's lock (the `fleet_calendar` site) in `registry`.
+    fn attach_contention(&self, registry: &TelemetryRegistry) {
+        self.heap.attach(registry);
+    }
+
+    /// Pops the earliest pending arrival and schedules its lane's successor.
+    /// Returns the claimed `(index, due_ns)`, or `None` once the calendar is
+    /// exhausted.
+    fn claim(&self, plan: &ArrivalPlan) -> Option<(usize, u64)> {
+        let mut heap = self.heap.lock();
+        let Reverse((due_ns, index)) = heap.pop()?;
+        let successor = index + self.lanes;
+        if successor < self.total {
+            heap.push(Reverse((plan.offset(successor).as_nanos() as u64, successor)));
+        }
+        Some((index, due_ns))
+    }
+}
+
 /// The concurrent per-user FIFO bookkeeping behind a queue-aware
 /// [`FleetSource`].
 ///
@@ -345,6 +393,12 @@ pub fn fifo_stamps(arrivals: &[u64], service_ns: &[u64], user_slots: usize) -> V
 /// source's epoch and use only schedule offsets and service durations, never
 /// the shared clock's racy reading, so they are bit-deterministic at any
 /// worker count (the math is exactly [`fifo_stamps`]).
+///
+/// State is **sparse**: only claimed-but-unstamped arrivals are resident
+/// (plus two words per user slot), so the model's memory is
+/// O(`user_slots` + in-flight jobs) instead of O(total fleet size) — the
+/// difference between a 10⁶-user fleet costing megabytes and costing the
+/// handful of entries the worker pool actually has open.
 struct QueueModel {
     user_slots: usize,
     state: ObservedMutex<QueueModelState>,
@@ -352,24 +406,30 @@ struct QueueModel {
 }
 
 struct QueueModelState {
-    /// Scheduled arrival offset per index, registered at claim time.
-    arrivals: Vec<Option<u64>>,
-    /// Whether index `i` has been stamped (its completion computed).
-    stamped: Vec<bool>,
+    /// Scheduled arrival offsets of claimed-but-not-yet-stamped jobs; an
+    /// entry is removed when its stamp consumes it.
+    arrivals: HashMap<usize, u64>,
+    /// Next unstamped position in each user's FIFO chain: job `i` of user
+    /// `i % slots` sits at chain position `i / slots`.
+    next_ordinal: Vec<u64>,
     /// Completion of each user's most recently stamped job.
     user_free_ns: Vec<u64>,
+    /// High-water mark of concurrently resident (claimed, unstamped)
+    /// arrivals — the model's peak in-flight footprint.
+    peak_resident: usize,
 }
 
 impl QueueModel {
-    fn new(user_slots: usize, jobs: usize) -> Self {
+    fn new(user_slots: usize) -> Self {
         Self {
             user_slots,
             state: ObservedMutex::new(
                 "fleet_queue_model",
                 QueueModelState {
-                    arrivals: vec![None; jobs],
-                    stamped: vec![false; jobs],
+                    arrivals: HashMap::new(),
+                    next_ordinal: vec![0; user_slots],
                     user_free_ns: vec![0; user_slots],
+                    peak_resident: 0,
                 },
             ),
             stamped_cond: Condvar::new(),
@@ -384,28 +444,37 @@ impl QueueModel {
     }
 
     fn register_arrival(&self, index: usize, arrival_ns: u64) {
-        self.state.lock().arrivals[index] = Some(arrival_ns);
+        let mut state = self.state.lock();
+        state.arrivals.insert(index, arrival_ns);
+        let resident = state.arrivals.len();
+        state.peak_resident = state.peak_resident.max(resident);
+    }
+
+    /// Peak number of concurrently resident (claimed, unstamped) arrivals.
+    fn peak_resident(&self) -> usize {
+        self.state.lock().peak_resident
     }
 
     /// Stamps job `index` after `service_ns` of service.  Blocks until the
     /// same user's previous job has been stamped; never deadlocks, because
-    /// the job with the lowest unstamped index in every user chain depends on
-    /// nothing and its worker always reaches this call.
+    /// the job with the lowest unstamped chain position in every user chain
+    /// depends on nothing and its worker always reaches this call.
     fn stamp(&self, index: usize, service_ns: u64) -> QueueStamp {
         let user = index % self.user_slots;
-        let user_slots = self.user_slots;
+        let ordinal = (index / self.user_slots) as u64;
         let guard = self.state.lock();
         // Blocked-on-predecessor time is recorded as wait at the
         // `fleet_queue_model` site (the condvar reacquisition counts as a new
         // timed acquisition), so FIFO-chain stalls are attributable.
-        let mut state = self.state.wait_while(guard, &self.stamped_cond, |state| {
-            index >= user_slots && !state.stamped[index - user_slots]
-        });
-        let arrival_ns = state.arrivals[index].expect("scenario was claimed before being served");
+        let mut state = self
+            .state
+            .wait_while(guard, &self.stamped_cond, |state| state.next_ordinal[user] != ordinal);
+        let arrival_ns =
+            state.arrivals.remove(&index).expect("scenario was claimed before being served");
         let start_ns = arrival_ns.max(state.user_free_ns[user]);
         let completion_ns = start_ns.saturating_add(service_ns);
         state.user_free_ns[user] = completion_ns;
-        state.stamped[index] = true;
+        state.next_ordinal[user] = ordinal + 1;
         self.stamped_cond.notify_all();
         QueueStamp { arrival_ns, start_ns, completion_ns, service_ns }
     }
@@ -433,9 +502,13 @@ pub struct FleetSource {
     /// workers, so the O(1)-amortised plan replaces per-claim O(index) walks.
     plan: ArrivalPlan,
     clock: Clock,
+    /// Sequential claim counter of the calendar-less path (no queueing).
     next: AtomicUsize,
     started_ns: OnceLock<u64>,
     queueing: Option<QueueModel>,
+    /// Event-calendar scheduler over the plan's per-user cursor lanes;
+    /// built alongside the queue model by [`FleetSource::with_queueing`].
+    calendar: Option<EventCalendar>,
 }
 
 impl FleetSource {
@@ -449,6 +522,7 @@ impl FleetSource {
             next: AtomicUsize::new(0),
             started_ns: OnceLock::new(),
             queueing: None,
+            calendar: None,
         }
     }
 
@@ -459,13 +533,21 @@ impl FleetSource {
     /// is what makes the driver report service durations back — without it
     /// the queue model sits idle.
     ///
+    /// Claims switch from the sequential counter to an [`EventCalendar`]
+    /// over the arrival plan's per-user cursor lanes: the earliest pending
+    /// arrival is always served next, mostly-idle users cost nothing between
+    /// events, and — because arrival offsets are non-decreasing in index —
+    /// the claim order (and therefore every report, trace and bottleneck
+    /// byte) is identical to the sequential path.
+    ///
     /// # Panics
     ///
     /// Panics if `user_slots` is zero.
     #[must_use]
     pub fn with_queueing(mut self, user_slots: usize) -> Self {
         assert!(user_slots > 0, "queueing needs at least one user slot");
-        self.queueing = Some(QueueModel::new(user_slots, self.users));
+        self.queueing = Some(QueueModel::new(user_slots));
+        self.calendar = Some(EventCalendar::new(user_slots, self.users, &self.plan));
         self
     }
 
@@ -488,24 +570,44 @@ impl FleetSource {
         self.users
     }
 
-    /// Observe the queue model's lock contention in `registry` (the
-    /// `fleet_queue_model` site).  No-op unless
+    /// Observe the queueing locks' contention in `registry` (the
+    /// `fleet_queue_model` and `fleet_calendar` sites).  No-op unless
     /// [`FleetSource::with_queueing`] enabled the model.
     pub fn attach_contention(&self, registry: &TelemetryRegistry) {
         if let Some(queue) = &self.queueing {
             queue.attach_contention(registry);
         }
+        if let Some(calendar) = &self.calendar {
+            calendar.attach_contention(registry);
+        }
+    }
+
+    /// Peak number of concurrently resident (claimed, unstamped) arrivals in
+    /// the queue model — the in-flight footprint the sparse state paid for.
+    /// `None` unless [`FleetSource::with_queueing`] enabled the model.
+    pub fn queue_peak_resident(&self) -> Option<usize> {
+        self.queueing.as_ref().map(|queue| queue.peak_resident())
     }
 }
 
 impl ScenarioSource for FleetSource {
     fn next_scenario(&self) -> Option<(usize, ScenarioSpec)> {
-        let index = self.next.fetch_add(1, Ordering::Relaxed);
-        if index >= self.users {
-            return None;
-        }
+        // Queueing sources claim through the event calendar (earliest pending
+        // arrival first); calendar-less sources walk the index sequence.
+        // Both orders coincide — offsets are non-decreasing in index — so the
+        // paths are output-identical; the calendar is what keeps a huge,
+        // mostly-idle fleet O(user_slots) instead of O(users) to schedule.
+        let (index, due_ns) = match &self.calendar {
+            Some(calendar) => calendar.claim(&self.plan)?,
+            None => {
+                let index = self.next.fetch_add(1, Ordering::Relaxed);
+                if index >= self.users {
+                    return None;
+                }
+                (index, self.plan.offset(index).as_nanos() as u64)
+            }
+        };
         let started_ns = *self.started_ns.get_or_init(|| self.clock.now_ns());
-        let due_ns = self.plan.offset(index).as_nanos() as u64;
         // Generate before registering the arrival: once an index is
         // registered, same-user successors will wait on its queue stamp, so
         // nothing that can panic (the generator) may run between registration
@@ -769,6 +871,45 @@ impl FamilyEnergyDelta {
     }
 }
 
+/// Lightweight outcome of a non-recording fleet drain ([`FleetStress::drain`]).
+///
+/// Everything a fleet-scale capacity benchmark needs — drain rate, queueing
+/// utilisation, sojourn, and the sparse queue model's in-flight footprint —
+/// without materialising a single [`ScenarioRecord`], so fleets of 10⁵–10⁶
+/// users run in O(`user_slots` + in-flight) memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDrainReport {
+    /// Users drained.
+    pub users: usize,
+    /// User slots the arrivals were round-robined onto (0 if queueing off).
+    pub user_slots: usize,
+    /// Decisions served.
+    pub decisions: usize,
+    /// Simulated span of the run (stamped queueing horizon under queueing,
+    /// otherwise the clock reading), seconds.
+    pub span_s: f64,
+    /// Real elapsed time of the drain, seconds.
+    pub elapsed_s: f64,
+    /// Drain rate: users per real second.
+    pub users_per_s: f64,
+    /// Serving rate: decisions per real second.
+    pub decisions_per_s: f64,
+    /// Fleet utilisation: service time over `user_slots × span` (0 if
+    /// queueing off).
+    pub utilisation: f64,
+    /// Mean sojourn (queueing wait + service) from the driver's histogram,
+    /// seconds (0 if queueing off).
+    pub mean_sojourn_s: f64,
+    /// Peak concurrently in-flight (claimed, unstamped) arrivals in the
+    /// sparse queue model.
+    pub queue_peak_resident: usize,
+    /// Estimated peak queueing+calendar state, bytes per fleet user: the
+    /// in-flight map (≈48 B/resident entry), the per-slot FIFO words
+    /// (32 B/slot) and the calendar heap (16 B/lane), over `users`.  The
+    /// point of the sparse model is that this shrinks as the fleet grows.
+    pub queue_bytes_per_user: f64,
+}
+
 /// The closed-loop fleet harness: a generator, a user count, a worker pool and
 /// an arrival schedule, runnable against any policy factory.
 pub struct FleetStress {
@@ -991,6 +1132,65 @@ impl FleetStress {
             self.publish_fleet(obs, &policy, &families, queueing.as_ref(), &records);
         }
         FleetReport { policy, telemetry, families, queueing, records }
+    }
+
+    /// Drains the fleet **without recording**: streams every user through the
+    /// driver exactly like [`FleetStress::run`], but keeps no per-scenario
+    /// records, no per-family breakdown and no [`QueueReport`] — the run's
+    /// memory stays O(`user_slots` + in-flight) however large the fleet.
+    /// This is the 10⁵–10⁶-user capacity path behind `bench_snapshot`'s
+    /// `fleet_1m` section; use [`FleetStress::run`] when you need traces,
+    /// family telemetry or byte-deterministic queue reports.
+    pub fn drain<F>(&self, make_policy: F) -> FleetDrainReport
+    where
+        F: Fn(usize, &ScenarioSpec) -> Box<dyn DvfsPolicy + Send> + Sync,
+    {
+        let mut driver =
+            ScenarioDriver::new(self.platform.clone(), self.workers).with_clock(self.clock.clone());
+        if let Some(objective) = self.oracle_reference {
+            driver = driver.with_oracle_reference(objective);
+        }
+        if let Some(queueing) = self.queueing {
+            driver = driver.with_service_time(queueing.time_dilation);
+        }
+        if let Some(obs) = &self.obs {
+            driver = driver.with_observability(obs.clone());
+        }
+        let mut source = FleetSource::new(Arc::clone(&self.generator), self.users, self.schedule)
+            .with_clock(self.clock.clone());
+        if let Some(queueing) = self.queueing {
+            source = source.with_queueing(queueing.user_slots);
+        }
+        if let Some(obs) = &self.obs {
+            source.attach_contention(&obs.registry);
+        }
+        let started = Instant::now();
+        let telemetry = driver.run_stream(&source, make_policy);
+        let elapsed_s = started.elapsed().as_secs_f64();
+        let user_slots = self.queueing.map(|q| q.user_slots).unwrap_or(0);
+        let peak = source.queue_peak_resident().unwrap_or(0);
+        let span_s = telemetry.wall_seconds;
+        let utilisation = if user_slots > 0 && span_s > 0.0 {
+            telemetry.service_time_s / (user_slots as f64 * span_s)
+        } else {
+            0.0
+        };
+        let mean_sojourn_s =
+            if telemetry.sojourn.count() > 0 { telemetry.sojourn.mean_ns() / 1e9 } else { 0.0 };
+        let state_bytes = peak as f64 * 48.0 + user_slots as f64 * (32.0 + 16.0);
+        FleetDrainReport {
+            users: self.users,
+            user_slots,
+            decisions: telemetry.decisions,
+            span_s,
+            elapsed_s,
+            users_per_s: self.users as f64 / elapsed_s.max(1e-9),
+            decisions_per_s: telemetry.decisions as f64 / elapsed_s.max(1e-9),
+            utilisation,
+            mean_sojourn_s,
+            queue_peak_resident: peak,
+            queue_bytes_per_user: state_bytes / self.users.max(1) as f64,
+        }
     }
 
     /// Folds one fleet run into the observability plane: per-family counters
@@ -1404,6 +1604,92 @@ mod tests {
             .sum();
         let service: f64 = services.iter().sum::<u64>() as f64 / 1e9;
         assert!((service - 2.0 * simulated).abs() < 1e-6 * service.max(1.0));
+    }
+
+    #[test]
+    fn event_calendar_claims_in_index_order_for_every_schedule() {
+        let schedules = [
+            ArrivalSchedule::Immediate,
+            ArrivalSchedule::Constant { interval: Duration::from_millis(2) },
+            ArrivalSchedule::Bursty { burst: 3, gap: Duration::from_millis(4) },
+            ArrivalSchedule::Ramp {
+                start: Duration::from_millis(4),
+                end: Duration::from_millis(1),
+            },
+            ArrivalSchedule::Diurnal {
+                period: Duration::from_secs(60),
+                peak: Duration::from_millis(5),
+                off_peak: Duration::from_secs(2),
+            },
+            ArrivalSchedule::Markov {
+                calm: Duration::from_secs(1),
+                storm: Duration::from_millis(10),
+                persistence: 0.8,
+                seed: 7,
+            },
+        ];
+        let total = 40;
+        for schedule in schedules {
+            for lanes in [1usize, 3, 7, 40, 64] {
+                let plan = ArrivalPlan::new(schedule, total);
+                let calendar = EventCalendar::new(lanes, total, &plan);
+                let mut claimed = Vec::new();
+                while let Some((index, due_ns)) = calendar.claim(&plan) {
+                    assert_eq!(due_ns, plan.offset(index).as_nanos() as u64);
+                    claimed.push(index);
+                }
+                let expected: Vec<usize> = (0..total).collect();
+                assert_eq!(
+                    claimed, expected,
+                    "{schedule:?} with {lanes} lanes must pop in index order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queue_model_state_stays_sparse() {
+        let users = 64;
+        let slots = 4;
+        let report = {
+            let fleet = FleetStress::new(SocPlatform::small(), generator(), users, 4)
+                .with_schedule(ArrivalSchedule::Constant { interval: Duration::from_millis(5) })
+                .with_clock(Clock::virtual_clock())
+                .with_queueing(QueueingConfig::new(1.0, slots));
+            fleet.drain(|_, _| Box::new(OndemandGovernor::new(&SocPlatform::small())))
+        };
+        assert_eq!(report.users, users);
+        assert_eq!(report.user_slots, slots);
+        assert!(report.decisions > 0);
+        assert!(report.utilisation > 0.0);
+        assert!(report.mean_sojourn_s > 0.0);
+        assert!(report.queue_peak_resident >= 1);
+        assert!(report.queue_peak_resident <= users, "resident arrivals are bounded by the fleet");
+        // The sparse model only holds claimed-but-unstamped jobs: with 4
+        // workers the in-flight set stays near the worker count, far below
+        // the dense per-job vectors the old model kept.
+        assert!(
+            report.queue_peak_resident <= 2 * 4 + slots,
+            "peak resident ({}) must track in-flight work, not fleet size",
+            report.queue_peak_resident
+        );
+    }
+
+    #[test]
+    fn drain_matches_the_recording_path() {
+        let make = || {
+            FleetStress::new(SocPlatform::small(), generator(), 12, 2)
+                .with_schedule(ArrivalSchedule::Constant { interval: Duration::from_millis(10) })
+                .with_clock(Clock::virtual_clock())
+                .with_queueing(QueueingConfig::new(1.0, 3))
+        };
+        let recorded = make().run(|_, _| Box::new(OndemandGovernor::new(&SocPlatform::small())));
+        let drained = make().drain(|_, _| Box::new(OndemandGovernor::new(&SocPlatform::small())));
+        let queueing = recorded.queueing.expect("queueing was enabled");
+        assert_eq!(drained.decisions, recorded.telemetry.decisions);
+        assert_eq!(drained.span_s.to_bits(), recorded.telemetry.wall_seconds.to_bits());
+        // Same definition (service over slots × span), same stamps.
+        assert!((drained.utilisation - queueing.utilisation).abs() < 1e-12);
     }
 
     #[test]

@@ -30,6 +30,15 @@
 //! instrumented-vs-plain overhead the gate bounds at 5 %.  The full
 //! critical-path report of the saturated queueing drain is written next to
 //! the output as `<stem>.bottleneck.json` and uploaded as a CI artifact.
+//!
+//! The `fleet_1m` section (schema 6) is the capacity benchmark of the
+//! non-recording drain path: a simulated week of constant-rate arrivals —
+//! 10⁵ users by default, 10⁶ when `BENCH_FLEET_USERS=1000000` — through the
+//! event-calendar scheduler and the sparse queue model, reporting users/s
+//! drained, wall time and peak queueing state bytes per user.  The 1/2/4-
+//! worker scaling runs behind `queueing_full` now serve through the
+//! per-worker L1 warm tier; `scaling_efficiency_4w` and the re-fitted serial
+//! fraction are what CI's `scaling-gate` ratchets.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -44,8 +53,14 @@ use std::time::Duration;
 /// `queueing_full` sections; 5: added the `contention` section — the
 /// Amdahl-fitted serial fraction behind `scaling_efficiency_4w`, the measured
 /// per-site lock-wait shares, and the instrumented-vs-plain overhead the gate
-/// bounds at 5 %).
-const SCHEMA: u32 = 5;
+/// bounds at 5 %; 6: added the `fleet_1m` capacity section and the per-worker
+/// L1 warm-tier fields in `queueing_full`, derived `queueing_full.users` from
+/// the measured spec list instead of hand-carrying it, and made the scaling
+/// numbers core-aware — `scaling_efficiency_4w` is now the fraction of
+/// *achievable* speedup (`speedup / min(workers, host_cores)`) and
+/// `serial_fraction` only accumulates evidence from points with more than one
+/// effective core, so core-starved runners stop reading as 97 %-serial code).
+const SCHEMA: u32 = 6;
 /// Timed repetitions per measurement; the best (max throughput / min time)
 /// is reported.
 const REPS: usize = 3;
@@ -319,6 +334,7 @@ fn main() {
     full_driver(workers).run(&full_specs, make_policy);
     let mut full_dps = [0.0f64; 3];
     let mut full_decisions = 0usize;
+    let mut full_l1 = SweepL1Stats::default();
     for (slot, full_workers) in [1usize, 2, 4].into_iter().enumerate() {
         let driver = full_driver(full_workers);
         let telemetry = (0..REPS)
@@ -327,13 +343,25 @@ fn main() {
             .expect("at least one full-scale rep");
         full_dps[slot] = telemetry.decisions_per_second;
         full_decisions = telemetry.decisions;
+        full_l1 = telemetry.l1;
     }
     // The Amdahl fit is the single source of truth for worker-scaling
     // numbers: `scaling_efficiency_4w` below and the bottleneck artifact's
-    // `amdahl` section both read this fit, so they can never disagree.
-    let amdahl =
-        AmdahlFit::from_throughputs(&[(1, full_dps[0]), (2, full_dps[1]), (4, full_dps[2])])
-            .expect("full-scale measurement includes a positive 1-worker baseline");
+    // `amdahl` section both read this fit, so they can never disagree.  The
+    // fit is core-aware: each point is scored against min(workers, host
+    // cores), so a core-starved runner (the 1-core class that measured
+    // "0.97 serial fraction" before schema 6) no longer reads as serial code
+    // — scaling_efficiency_4w is the fraction of *achievable* scaling
+    // realised, and serial_fraction only accumulates evidence from points
+    // with real parallelism available.
+    let host_cores = std::thread::available_parallelism()
+        .map(|cores| cores.get() as u32)
+        .unwrap_or(1);
+    let amdahl = AmdahlFit::from_throughputs_on(
+        host_cores,
+        &[(1, full_dps[0]), (2, full_dps[1]), (4, full_dps[2])],
+    )
+    .expect("full-scale measurement includes a positive 1-worker baseline");
     let full_queue_users = 96;
     let full_queue_start = Instant::now();
     let full_queue_report =
@@ -349,17 +377,51 @@ fn main() {
     let full_queue = full_queue_report.queueing.clone().expect("queueing was enabled");
     println!(
         "queueing_full: {} full-scale decisions — {:.0} / {:.0} / {:.0} decisions/s at 1/2/4 \
-         workers ({:.0}% scaling); {} saturated arrivals drained in {:.1} ms wall, utilisation \
-         {:.3}, p95 sojourn {:.1} ms",
+         workers ({:.0}% of achievable scaling, L1 warm hit rate {:.0}%); {} saturated arrivals \
+         drained in {:.1} ms wall, utilisation {:.3}, p95 sojourn {:.1} ms",
         full_decisions,
         full_dps[0],
         full_dps[1],
         full_dps[2],
         amdahl.scaling_efficiency * 100.0,
+        full_l1.warm_hit_rate() * 100.0,
         full_queue.arrivals,
         full_queue_wall_ms,
         full_queue.utilisation,
         full_queue.p95_sojourn_s * 1e3,
+    );
+
+    // Fleet capacity: a simulated week of constant-rate arrivals drained
+    // through the non-recording path — the event-calendar scheduler feeding
+    // the sparse queue model, no per-scenario records — at 10⁵ users by
+    // default (BENCH_FLEET_USERS=1000000 for the full 10⁶-user drain).  The
+    // headline numbers are users/s drained, wall time for the week, and peak
+    // queueing+calendar state in bytes per user, which must *shrink* as the
+    // fleet grows.
+    let fleet_users: usize = std::env::var("BENCH_FLEET_USERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let week_s = 7.0 * 24.0 * 3_600.0;
+    let fleet_slots = 16;
+    let fleet_1m =
+        FleetStress::new(small.clone(), ScenarioGenerator::standard(2020, 2), fleet_users, workers)
+            .with_schedule(ArrivalSchedule::Constant {
+                interval: Duration::from_secs_f64(week_s / fleet_users as f64),
+            })
+            .with_clock(Clock::virtual_clock())
+            .with_queueing(QueueingConfig::new(1.0, fleet_slots))
+            .drain(|_, _| Box::new(OndemandGovernor::new(&small)));
+    println!(
+        "fleet_1m: {} users over {:.1} simulated days drained in {:.2} s wall — {:.0} users/s, \
+         {:.0} decisions/s, peak {} in flight, {:.1} queue-state bytes/user",
+        fleet_1m.users,
+        fleet_1m.span_s / 86_400.0,
+        fleet_1m.elapsed_s,
+        fleet_1m.users_per_s,
+        fleet_1m.decisions_per_s,
+        fleet_1m.queue_peak_resident,
+        fleet_1m.queue_bytes_per_user,
     );
 
     // The instrumented runs' own registry, exported next to the snapshot.
@@ -387,10 +449,12 @@ fn main() {
         .map(|s| s.site.clone())
         .unwrap_or_else(|| "-".to_owned());
     println!(
-        "contention: serial fraction {:.3} (scaling efficiency {:.0}% at 4 workers), \
-         overhead {:+.2}%, top lock site {} ({} lock sites measured)",
+        "contention: serial fraction {:.3} (scaling efficiency {:.0}% of achievable at 4 workers \
+         on {} cores{}), overhead {:+.2}%, top lock site {} ({} lock sites measured)",
         amdahl.serial_fraction,
         amdahl.scaling_efficiency * 100.0,
+        host_cores,
+        if amdahl.core_limited { ", core-limited" } else { "" },
         -overhead_pct,
         top_lock_site,
         lock_sites.len(),
@@ -465,12 +529,18 @@ fn main() {
     let _ = writeln!(json, "    \"registry_metrics\": {}", metrics_snapshot.len());
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"queueing_full\": {{");
-    let _ = writeln!(json, "    \"users\": {users},");
+    let _ = writeln!(json, "    \"users\": {},", full_specs.len());
     let _ = writeln!(json, "    \"decisions\": {full_decisions},");
     let _ = writeln!(json, "    \"decisions_per_s_1w\": {:.1},", full_dps[0]);
     let _ = writeln!(json, "    \"decisions_per_s_2w\": {:.1},", full_dps[1]);
     let _ = writeln!(json, "    \"decisions_per_s_4w\": {:.1},", full_dps[2]);
     let _ = writeln!(json, "    \"scaling_efficiency_4w\": {:.4},", amdahl.scaling_efficiency);
+    let _ = writeln!(json, "    \"serial_fraction\": {:.4},", amdahl.serial_fraction);
+    let _ = writeln!(json, "    \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "    \"core_limited\": {},", amdahl.core_limited);
+    let _ = writeln!(json, "    \"l1_warm_hit_rate\": {:.4},", full_l1.warm_hit_rate());
+    let _ = writeln!(json, "    \"l1_hits\": {},", full_l1.hits);
+    let _ = writeln!(json, "    \"l1_publishes\": {},", full_l1.publishes);
     let _ = writeln!(json, "    \"queue_arrivals\": {},", full_queue.arrivals);
     let _ = writeln!(json, "    \"queue_utilisation\": {:.4},", full_queue.utilisation);
     let _ =
@@ -479,9 +549,25 @@ fn main() {
     let _ = writeln!(json, "    \"queue_max_depth\": {},", full_queue.max_queue_depth);
     let _ = writeln!(json, "    \"queue_wall_ms\": {full_queue_wall_ms:.2}");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fleet_1m\": {{");
+    let _ = writeln!(json, "    \"users\": {},", fleet_1m.users);
+    let _ = writeln!(json, "    \"user_slots\": {},", fleet_1m.user_slots);
+    let _ = writeln!(json, "    \"workers\": {workers},");
+    let _ = writeln!(json, "    \"decisions\": {},", fleet_1m.decisions);
+    let _ = writeln!(json, "    \"simulated_days\": {:.2},", fleet_1m.span_s / 86_400.0);
+    let _ = writeln!(json, "    \"wall_s\": {:.3},", fleet_1m.elapsed_s);
+    let _ = writeln!(json, "    \"users_per_s\": {:.1},", fleet_1m.users_per_s);
+    let _ = writeln!(json, "    \"decisions_per_s\": {:.1},", fleet_1m.decisions_per_s);
+    let _ = writeln!(json, "    \"utilisation\": {:.6},", fleet_1m.utilisation);
+    let _ = writeln!(json, "    \"mean_sojourn_ms\": {:.3},", fleet_1m.mean_sojourn_s * 1e3);
+    let _ = writeln!(json, "    \"queue_peak_resident\": {},", fleet_1m.queue_peak_resident);
+    let _ = writeln!(json, "    \"queue_bytes_per_user\": {:.2}", fleet_1m.queue_bytes_per_user);
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"contention\": {{");
     let _ = writeln!(json, "    \"serial_fraction\": {:.4},", amdahl.serial_fraction);
     let _ = writeln!(json, "    \"scaling_efficiency_4w\": {:.4},", amdahl.scaling_efficiency);
+    let _ = writeln!(json, "    \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "    \"core_limited\": {},", amdahl.core_limited);
     let _ = writeln!(json, "    \"overhead_pct\": {overhead_pct:.2},");
     let _ = writeln!(json, "    \"top_lock_site\": \"{top_lock_site}\",");
     let _ = writeln!(json, "    \"lock_sites\": [");

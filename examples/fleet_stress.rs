@@ -27,6 +27,11 @@
 //! Markov calm/storm fleet breaks sojourns down by traffic regime.  With
 //! `--trace-out` the trace then carries the v2 queue stamps.
 //!
+//! `--users N` and `--workers N` override the fleet size and the worker pool
+//! — the determinism gates run the same workload at `--workers 1/2/4` and
+//! byte-compare every artifact, and the calendar gate drains a 10⁴-user
+//! queueing fleet twice.
+//!
 //! `--substrates all` swaps the CPU-only generator for the heterogeneous
 //! seven-family mix — CPU DVFS scenarios, GPU eNMPC rendering sessions and
 //! learned-NoC latency windows, interleaved inside single scenarios — served
@@ -74,11 +79,23 @@ fn main() {
     let mut spans_out: Option<String> = None;
     let mut bottleneck_out: Option<String> = None;
     let mut obs_summary = false;
+    let mut users_override: Option<usize> = None;
+    let mut workers_override: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--virtual-clock" => virtual_clock = true,
             "--queueing" => queueing = true,
+            "--users" => {
+                let value = args.next().expect("--users needs a count");
+                users_override =
+                    Some(value.parse().expect("--users needs a positive integer count"));
+            }
+            "--workers" => {
+                let value = args.next().expect("--workers needs a count");
+                workers_override =
+                    Some(value.parse().expect("--workers needs a positive integer count"));
+            }
             "--substrates" => {
                 match args.next().expect("--substrates needs a value (all|cpu)").as_str() {
                     "all" => substrates_all = true,
@@ -103,9 +120,9 @@ fn main() {
             }
             "--obs-summary" => obs_summary = true,
             other => panic!(
-                "unknown argument {other:?} (try --virtual-clock, --queueing, \
-                 --substrates all, --trace-out PATH, --metrics-out PATH, --prom-out PATH, \
-                 --spans-out PATH, --bottleneck-out PATH, --obs-summary)"
+                "unknown argument {other:?} (try --virtual-clock, --queueing, --users N, \
+                 --workers N, --substrates all, --trace-out PATH, --metrics-out PATH, \
+                 --prom-out PATH, --spans-out PATH, --bottleneck-out PATH, --obs-summary)"
             ),
         }
     }
@@ -132,8 +149,10 @@ fn main() {
 
     let platform = SocPlatform::odroid_xu3();
     let scale = ExperimentScale::Quick;
-    let users = if virtual_clock { 24 } else { 12 };
-    let workers = 4;
+    let users = users_override.unwrap_or(if virtual_clock { 24 } else { 12 });
+    let workers = workers_override.unwrap_or(4);
+    assert!(users > 0, "--users needs a positive count");
+    assert!(workers > 0, "--workers needs a positive count");
 
     let artifacts = shared_artifacts(&platform, scale);
     let generator = if substrates_all {

@@ -224,6 +224,42 @@ fn queueing_telemetry_is_bit_identical_across_worker_counts() {
     assert!((summed - queueing.utilisation).abs() < 1e-9);
 }
 
+/// The event-calendar scheduler behind every queueing fleet reproduces the
+/// pure per-user FIFO reference exactly, at 1, 2 and 4 workers: feeding the
+/// recorded arrival/service sequences through [`fifo_stamps`] yields the very
+/// stamps the fleet recorded, and the aggregated `QueueReport` is identical
+/// across worker counts.
+#[test]
+fn event_calendar_stamps_match_the_fifo_reference_at_any_worker_count() {
+    let user_slots = 3;
+    let run = |workers| {
+        FleetStress::new(platform(), generator(), 30, workers)
+            .with_schedule(ArrivalSchedule::Bursty { burst: 5, gap: Duration::from_millis(120) })
+            .with_clock(Clock::virtual_clock())
+            .with_queueing(QueueingConfig::new(1.0, user_slots))
+            .run(|_, _| Box::new(OndemandGovernor::new(&platform())))
+    };
+    let reference = run(1);
+    for workers in [1, 2, 4] {
+        let report = run(workers);
+        let stamps: Vec<QueueStamp> = report
+            .records
+            .iter()
+            .map(|r| r.queue.expect("queueing stamps every record"))
+            .collect();
+        let arrivals: Vec<u64> = stamps.iter().map(|s| s.arrival_ns).collect();
+        let services: Vec<u64> = stamps.iter().map(|s| s.service_ns).collect();
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "{workers} workers: the calendar must admit arrivals in schedule order"
+        );
+        let expected = fifo_stamps(&arrivals, &services, user_slots);
+        assert_eq!(stamps, expected, "{workers} workers diverged from the FIFO reference");
+        assert_eq!(report.queueing, reference.queueing, "{workers} workers");
+        assert_eq!(report.records, reference.records, "{workers} workers");
+    }
+}
+
 /// The committed v1 golden trace still parses and replays bit-identically
 /// under the v3 code — pinning backward compatibility instead of implying it.
 #[test]

@@ -238,6 +238,57 @@ proptest! {
         }
     }
 
+    /// The per-worker L1 warm tier is bit-transparent: for any interleaving of
+    /// L1 fills, shared-shard fills, batched publishes and explicit flushes —
+    /// across two L1 engines racing on one shared cache, at any tiny
+    /// capacity/publish cadence — every sweep is bit-identical to the plain
+    /// shared-shard path and to a fresh simulator evaluation.
+    #[test]
+    fn worker_l1_sweeps_are_bit_transparent_under_any_interleaving(
+        profiles in proptest::collection::vec(snippet_strategy(), 1..4),
+        ops in proptest::collection::vec((0usize..8, 0u8..3), 1..24),
+        capacity in 1usize..6,
+        publish_every in 1usize..5,
+    ) {
+        let platform = SocPlatform::small();
+        let sim = SocSimulator::new(platform.clone());
+        let shared = std::sync::Arc::new(SweepCache::new());
+        let plain = SweepEngine::with_cache(platform.clone(), std::sync::Arc::new(SweepCache::new()));
+        let warm = SweepEngine::with_cache(platform.clone(), std::sync::Arc::clone(&shared))
+            .with_warm_l1(capacity, publish_every);
+        let peer = SweepEngine::with_cache(platform, std::sync::Arc::clone(&shared))
+            .with_warm_l1(capacity, publish_every);
+        for (pick, action) in ops {
+            let profile = &profiles[pick % profiles.len()];
+            let expected = plain.sweep(profile);
+            let via_warm = warm.sweep(profile);
+            let via_peer = peer.sweep(profile);
+            prop_assert!(expected.len() == via_warm.len() && expected.len() == via_peer.len());
+            for (e, (w, p)) in expected.iter().zip(via_warm.iter().zip(via_peer.iter())) {
+                prop_assert!(e.energy_j.to_bits() == w.energy_j.to_bits());
+                prop_assert!(e.time_s.to_bits() == w.time_s.to_bits());
+                prop_assert!(e.energy_j.to_bits() == p.energy_j.to_bits());
+                prop_assert!(e.time_s.to_bits() == p.time_s.to_bits());
+            }
+            // Ground truth: the uncached simulator answers identically too.
+            let fresh = sim.evaluate_all_configs(profile);
+            prop_assert!(fresh.len() == via_warm.len());
+            for (f, w) in fresh.iter().zip(via_warm.iter()) {
+                prop_assert!(f.energy_j.to_bits() == w.energy_j.to_bits());
+                prop_assert!(f.time_s.to_bits() == w.time_s.to_bits());
+            }
+            match action {
+                1 => warm.flush_l1(),
+                2 => peer.flush_l1(),
+                _ => {}
+            }
+        }
+        let stats = warm.l1_stats().expect("warm engine has an L1");
+        let peer_stats = peer.l1_stats().expect("peer engine has an L1");
+        prop_assert!(stats.hits + stats.shared_hits + stats.misses > 0);
+        prop_assert!(stats.entries <= capacity && peer_stats.entries <= capacity);
+    }
+
     /// GPU frame rendering is physical for every configuration and any plausible
     /// frame demand.
     #[test]
