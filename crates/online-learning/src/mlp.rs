@@ -193,6 +193,15 @@ impl Mlp {
         self.updates
     }
 
+    /// Total number of trainable parameters (weights and biases), for
+    /// model-footprint accounting.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.iter().map(Vec::len).sum::<usize>() + l.biases.len())
+            .sum()
+    }
+
     /// Raw network outputs (pre-softmax for classification use).
     ///
     /// # Panics

@@ -45,6 +45,17 @@ impl RecursiveLeastSquares {
     /// lanes that must stay responsive forever.
     pub const DEFAULT_COVARIANCE_FLOOR: f64 = 1e-9;
 
+    /// Scale of the initial covariance `P₀ = INITIAL_COVARIANCE_SCALE · I`.
+    ///
+    /// A large diagonal encodes an almost-uninformative prior on the weights:
+    /// RLS with `P₀ = c·I` is exactly ridge regression with penalty `1/c`, so
+    /// this constant is also the (tiny) implicit ridge prior
+    /// `A₀ = I / INITIAL_COVARIANCE_SCALE` that the sufficient-statistics
+    /// conversions in [`crate::stats`] must account for.  One named constant
+    /// keeps [`RecursiveLeastSquares::new`], [`RecursiveLeastSquares::reset`]
+    /// and those conversions from drifting apart.
+    pub const INITIAL_COVARIANCE_SCALE: f64 = 1e4;
+
     /// Creates an RLS estimator for `dim` features with forgetting factor `lambda`.
     ///
     /// `lambda = 1.0` never forgets; values around `0.95–0.99` are typical for
@@ -58,7 +69,7 @@ impl RecursiveLeastSquares {
         assert!(lambda > 0.0 && lambda <= 1.0, "forgetting factor must be in (0, 1]");
         Self {
             weights: vec![0.0; dim],
-            p: Self::scaled_identity(dim, 1e4),
+            p: Self::scaled_identity(dim, Self::INITIAL_COVARIANCE_SCALE),
             lambda,
             samples: 0,
             p_floor: Self::DEFAULT_COVARIANCE_FLOOR,
@@ -102,6 +113,27 @@ impl RecursiveLeastSquares {
         &self.weights
     }
 
+    /// The inverse correlation matrix `P` (row-major, `dim × dim`).
+    ///
+    /// Read-only: the sufficient-statistics conversions
+    /// ([`crate::stats::RlsStats`]) recover `A = P⁻¹ − A₀` from it.
+    pub fn covariance(&self) -> &[Vec<f64>] {
+        &self.p
+    }
+
+    /// Rebuilds an estimator from externally computed fitted state (the
+    /// sufficient-statistics refit path); keeps the default covariance floor.
+    pub(crate) fn from_fitted_state(
+        weights: Vec<f64>,
+        p: Vec<Vec<f64>>,
+        lambda: f64,
+        samples: usize,
+    ) -> Self {
+        assert!(!weights.is_empty(), "feature dimension must be positive");
+        assert!(lambda > 0.0 && lambda <= 1.0, "forgetting factor must be in (0, 1]");
+        Self { weights, p, lambda, samples, p_floor: Self::DEFAULT_COVARIANCE_FLOOR }
+    }
+
     /// The forgetting factor currently in use.
     pub fn lambda(&self) -> f64 {
         self.lambda
@@ -130,7 +162,7 @@ impl RecursiveLeastSquares {
     pub fn reset(&mut self) {
         let dim = self.weights.len();
         self.weights = vec![0.0; dim];
-        self.p = Self::scaled_identity(dim, 1e4);
+        self.p = Self::scaled_identity(dim, Self::INITIAL_COVARIANCE_SCALE);
         self.samples = 0;
     }
 
@@ -408,6 +440,32 @@ mod tests {
         rls.reset();
         assert_eq!(rls.samples_seen(), 0);
         assert!(rls.weights().iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn reset_restores_initial_covariance_and_keeps_tuning() {
+        // `reset()` must return to exactly the `new()` state for the same
+        // tuning: the covariance back at `INITIAL_COVARIANCE_SCALE · I`,
+        // weights and sample count zeroed — while `lambda` and a raised
+        // covariance floor survive.  (The initial scale used to be a literal
+        // duplicated across `new` and `reset`, which could silently drift.)
+        let floor = 1e-3;
+        let mut rls = RecursiveLeastSquares::new(3, 0.93).with_covariance_floor(floor);
+        for (x, y) in stationary_stream(50) {
+            rls.update(&x, y);
+        }
+        rls.reset();
+        assert_eq!(rls.lambda(), 0.93, "reset keeps the forgetting factor");
+        assert_eq!(rls.covariance_floor(), floor, "reset keeps the covariance floor");
+        assert_eq!(rls.samples_seen(), 0);
+        assert!(rls.weights().iter().all(|&w| w == 0.0));
+        for (i, row) in rls.covariance().iter().enumerate() {
+            for (j, &entry) in row.iter().enumerate() {
+                let expected =
+                    if i == j { RecursiveLeastSquares::INITIAL_COVARIANCE_SCALE } else { 0.0 };
+                assert_eq!(entry, expected, "P[{i}][{j}] must be back at the initial prior");
+            }
+        }
     }
 
     #[test]

@@ -39,8 +39,9 @@ use soclearn_runtime::obs::{
     BottleneckReport, Observability, ObservedMutex, Span, StampedInterval, TelemetryRegistry,
 };
 use soclearn_runtime::{
-    Clock, DecisionKind, DriverTelemetry, QuantileSketch, QueueStamp, ScenarioDriver,
-    ScenarioRecord, ScenarioSource, ScenarioSpec, SubstrateDecision, SubstratePolicies,
+    Clock, DecisionKind, DriverTelemetry, ModelStoreStats, QuantileSketch, QueueStamp,
+    ScenarioDriver, ScenarioRecord, ScenarioSource, ScenarioSpec, SubstrateDecision,
+    SubstratePolicies, TieredModelStore,
 };
 use soclearn_soc_sim::{DvfsPolicy, SocPlatform};
 
@@ -908,6 +909,9 @@ pub struct FleetDrainReport {
     /// (32 B/slot) and the calendar heap (16 B/lane), over `users`.  The
     /// point of the sparse model is that this shrinks as the fleet grows.
     pub queue_bytes_per_user: f64,
+    /// Tiered model store accounting after the run's final fleet merge;
+    /// `None` unless the fleet ran with [`FleetStress::with_personalization`].
+    pub model_store: Option<ModelStoreStats>,
 }
 
 /// The closed-loop fleet harness: a generator, a user count, a worker pool and
@@ -922,6 +926,11 @@ pub struct FleetStress {
     oracle_reference: Option<OracleObjective>,
     queueing: Option<QueueingConfig>,
     obs: Option<Observability>,
+    personalization: Option<Arc<TieredModelStore>>,
+    /// Interned per-family lease labels, populated when personalization is
+    /// attached so each lease clones an `Arc<str>` instead of formatting a
+    /// family name — measurable at 10⁵+ leases per drain.
+    family_labels: Vec<Arc<str>>,
 }
 
 impl FleetStress {
@@ -948,7 +957,46 @@ impl FleetStress {
             oracle_reference: None,
             queueing: None,
             obs: None,
+            personalization: None,
+            family_labels: Vec::new(),
         }
+    }
+
+    /// Enables tiered per-user personalization: the store is attached to the
+    /// underlying [`ScenarioDriver`] (final fleet merge + accounting in
+    /// [`DriverTelemetry::model_store`] / [`FleetDrainReport::model_store`]),
+    /// and [`FleetStress::personalized_policy`] leases per-user policies from
+    /// it with the scenario's family as the materialization label.  Governor
+    /// baseline fleets ([`FleetStress::run_against_governors`]) never lease,
+    /// so they stay unpersonalized for a fair comparison.
+    #[must_use]
+    pub fn with_personalization(mut self, store: Arc<TieredModelStore>) -> Self {
+        self.personalization = Some(store);
+        self.family_labels =
+            self.generator.families().iter().map(|f| Arc::from(f.name())).collect();
+        self
+    }
+
+    /// The attached tiered model store, when personalization is on.
+    pub fn personalization(&self) -> Option<&Arc<TieredModelStore>> {
+        self.personalization.as_ref()
+    }
+
+    /// Leases a personalized policy for scenario `index` from the attached
+    /// store, labelled with the scenario's generator family — the policy
+    /// factory to pass to [`FleetStress::run`] / [`FleetStress::drain`] when
+    /// personalization is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`FleetStress::with_personalization`] was not called.
+    pub fn personalized_policy(&self, index: usize) -> Box<dyn DvfsPolicy + Send> {
+        let store = self
+            .personalization
+            .as_ref()
+            .expect("personalized_policy requires with_personalization");
+        let family = Arc::clone(&self.family_labels[self.generator.family_index_of(index)]);
+        Box::new(store.lease(family))
     }
 
     /// Publishes fleet telemetry into an [`Observability`] plane: the plane
@@ -1055,6 +1103,9 @@ impl FleetStress {
         if let Some(obs) = &self.obs {
             driver = driver.with_observability(obs.clone());
         }
+        if let Some(store) = &self.personalization {
+            driver = driver.with_personalization(Arc::clone(store));
+        }
         let mut source = FleetSource::new(Arc::clone(&self.generator), self.users, self.schedule)
             .with_clock(self.clock.clone());
         if let Some(queueing) = self.queueing {
@@ -1156,6 +1207,9 @@ impl FleetStress {
         if let Some(obs) = &self.obs {
             driver = driver.with_observability(obs.clone());
         }
+        if let Some(store) = &self.personalization {
+            driver = driver.with_personalization(Arc::clone(store));
+        }
         let mut source = FleetSource::new(Arc::clone(&self.generator), self.users, self.schedule)
             .with_clock(self.clock.clone());
         if let Some(queueing) = self.queueing {
@@ -1190,6 +1244,7 @@ impl FleetStress {
             mean_sojourn_s,
             queue_peak_resident: peak,
             queue_bytes_per_user: state_bytes / self.users.max(1) as f64,
+            model_store: telemetry.model_store,
         }
     }
 
@@ -1673,6 +1728,34 @@ mod tests {
             "peak resident ({}) must track in-flight work, not fleet size",
             report.queue_peak_resident
         );
+    }
+
+    #[test]
+    fn personalized_fleet_reports_store_accounting() {
+        use soclearn_runtime::{shared_artifacts, ExperimentScale, OnlineIlConfig};
+        let platform = SocPlatform::small();
+        let artifacts = shared_artifacts(&platform, ExperimentScale::Quick);
+        let store =
+            Arc::new(TieredModelStore::with_defaults(&artifacts, OnlineIlConfig::default()));
+        let users = 12;
+        let fleet = FleetStress::new(platform, generator(), users, 2)
+            .with_clock(Clock::virtual_clock())
+            .with_personalization(Arc::clone(&store));
+        let report = fleet.drain(|i, _| fleet.personalized_policy(i));
+        assert!(report.decisions > 0);
+        let stats = report.model_store.expect("personalized drain must report store stats");
+        assert_eq!(stats.users_leased, users as u64);
+        assert!(stats.deltas_materialized > 0, "real workloads must diverge");
+        assert!(stats.merge_rounds >= 1, "finish_run must fold pending deltas into the base");
+        assert!(stats.base_version >= 1);
+        assert!(
+            (stats.peak_resident_copies as usize) <= users,
+            "resident copies are bounded by in-flight leases"
+        );
+        let families = store.family_materializations();
+        assert!(!families.is_empty(), "materializations are attributed per family");
+        let attributed: u64 = families.iter().map(|(_, n)| n).sum();
+        assert_eq!(attributed, stats.deltas_materialized);
     }
 
     #[test]

@@ -18,7 +18,11 @@ const LATENCY_BUCKETS: usize = 48;
 pub struct LatencyHistogram {
     buckets: [u64; LATENCY_BUCKETS],
     count: u64,
-    sum_ns: u64,
+    /// Running sum of recorded durations.  `u128` like
+    /// [`QuantileSketch`](crate::QuantileSketch)'s sum: day-scale virtual
+    /// sojourns (~2^47 ns) over fleet-scale counts (10⁶+) overflow 2^64,
+    /// which would silently corrupt `mean_ns` in release mode.
+    sum_ns: u128,
     max_ns: u64,
 }
 
@@ -44,7 +48,7 @@ impl LatencyHistogram {
         let bucket = (u64::BITS - latency_ns.max(1).leading_zeros() - 1) as usize;
         self.buckets[bucket.min(LATENCY_BUCKETS - 1)] += 1;
         self.count += 1;
-        self.sum_ns += latency_ns;
+        self.sum_ns += latency_ns as u128;
         self.max_ns = self.max_ns.max(latency_ns);
     }
 
@@ -127,6 +131,26 @@ mod tests {
         other.merge(&h);
         assert_eq!(other.count(), 7);
         assert_eq!(other.buckets().iter().sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn sum_does_not_wrap_at_day_scale_times_million_counts() {
+        // Regression: with a u64 sum, 10⁶ day-scale durations (86 400 s =
+        // ~2^46.3 ns each, ~2^66.2 ns total) wrap modulo 2^64 and `mean_ns`
+        // comes out ~4.3 days short.  The u128 sum keeps the mean exact.
+        let day_ns: u64 = 86_400_000_000_000;
+        let counts = 1_000_000u64;
+        let mut h = LatencyHistogram::new();
+        for _ in 0..counts {
+            h.record(day_ns);
+        }
+        assert_eq!(h.count(), counts);
+        assert_eq!(h.mean_ns(), day_ns as f64, "mean must be exactly one day");
+        // And merging two such histograms keeps the total exact too.
+        let mut merged = h.clone();
+        merged.merge(&h);
+        assert_eq!(merged.count(), 2 * counts);
+        assert_eq!(merged.mean_ns(), day_ns as f64);
     }
 
     #[test]

@@ -32,6 +32,16 @@
 //! byte-compare every artifact, and the calendar gate drains a 10⁴-user
 //! queueing fleet twice.
 //!
+//! `--personalize` serves the online-IL fleet from a [`TieredModelStore`]
+//! instead of handing every user a private policy copy: users lease the
+//! shared base, copy-on-write materialize a delta on their first divergent
+//! update, and their RLS sufficient statistics are federated back into the
+//! base.  The run then prints the store's accounting — bytes per user against
+//! a full per-user copy, merge rounds, base version — and a per-family
+//! delta-materialization table.  Merged base weights depend on completion
+//! order at the floating-point level, so `--personalize` is not combined with
+//! the byte-compare determinism gates.
+//!
 //! `--substrates all` swaps the CPU-only generator for the heterogeneous
 //! seven-family mix — CPU DVFS scenarios, GPU eNMPC rendering sessions and
 //! learned-NoC latency windows, interleaved inside single scenarios — served
@@ -73,6 +83,7 @@ fn main() {
     let mut virtual_clock = false;
     let mut queueing = false;
     let mut substrates_all = false;
+    let mut personalize = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
@@ -86,6 +97,7 @@ fn main() {
         match arg.as_str() {
             "--virtual-clock" => virtual_clock = true,
             "--queueing" => queueing = true,
+            "--personalize" => personalize = true,
             "--users" => {
                 let value = args.next().expect("--users needs a count");
                 users_override =
@@ -120,8 +132,8 @@ fn main() {
             }
             "--obs-summary" => obs_summary = true,
             other => panic!(
-                "unknown argument {other:?} (try --virtual-clock, --queueing, --users N, \
-                 --workers N, --substrates all, --trace-out PATH, --metrics-out PATH, \
+                "unknown argument {other:?} (try --virtual-clock, --queueing, --personalize, \
+                 --users N, --workers N, --substrates all, --trace-out PATH, --metrics-out PATH, \
                  --prom-out PATH, --spans-out PATH, --bottleneck-out PATH, --obs-summary)"
             ),
         }
@@ -197,13 +209,23 @@ fn main() {
     }
     let obs = Observability::new();
     fleet = fleet.with_observability(obs.clone());
+    let il_config = OnlineIlConfig {
+        buffer_capacity: 15,
+        neighbourhood_radius: 2,
+        ..OnlineIlConfig::default()
+    };
+    let store = personalize
+        .then(|| std::sync::Arc::new(TieredModelStore::with_defaults(&artifacts, il_config)));
+    if let Some(store) = &store {
+        fleet = fleet.with_personalization(std::sync::Arc::clone(store));
+    }
     let wall = Instant::now();
-    let online_il = |_: usize, _: &ScenarioSpec| -> Box<dyn DvfsPolicy + Send> {
-        Box::new(artifacts.online_policy(OnlineIlConfig {
-            buffer_capacity: 15,
-            neighbourhood_radius: 2,
-            ..OnlineIlConfig::default()
-        }))
+    let online_il = |i: usize, _: &ScenarioSpec| -> Box<dyn DvfsPolicy + Send> {
+        if store.is_some() {
+            fleet.personalized_policy(i)
+        } else {
+            Box::new(artifacts.online_policy(il_config))
+        }
     };
     let (il, [ondemand, interactive], [vs_ondemand, vs_interactive]) = if substrates_all {
         // The learned bundle: online-IL on the CPU, explicit NMPC on the GPU,
@@ -277,6 +299,10 @@ fn main() {
         ondemand.telemetry.total_energy_j,
         interactive.telemetry.total_energy_j,
     );
+
+    if let Some(store) = &store {
+        print_store_tables(store, &il);
+    }
 
     if substrates_all {
         // Cross-substrate energy accounting: the learned bundle's lanes next
@@ -397,6 +423,57 @@ fn main() {
     println!(
         "\nOnline-IL used less energy than BOTH governors on {il_wins}/{} generated families.",
         il.families.len()
+    );
+}
+
+/// Renders `--personalize`: the tiered store's accounting (copy-on-write
+/// memory against a naive full-copy-per-user fleet, federated merge volume)
+/// and the per-family delta-materialization table.
+fn print_store_tables(store: &TieredModelStore, il: &FleetReport) {
+    let stats = il
+        .telemetry
+        .model_store
+        .as_ref()
+        .expect("a personalized fleet reports model-store accounting");
+    let leased = stats.users_leased.max(1);
+    let rows: Vec<Vec<String>> = store
+        .family_materializations()
+        .into_iter()
+        .map(|(family, deltas)| {
+            vec![
+                family,
+                format!("{deltas}"),
+                format!("{:.1}%", deltas as f64 / leased as f64 * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Delta materializations per generated family (copy-on-write leases)",
+            &["Family", "Deltas", "Of fleet"],
+            &rows
+        )
+    );
+    println!(
+        "Model store: {} users leased, {} shared decisions, {} deltas materialized, \
+         peak {} resident copies.",
+        stats.users_leased,
+        stats.shared_decisions,
+        stats.deltas_materialized,
+        stats.peak_resident_copies,
+    );
+    println!(
+        "Memory: {:.0} B/user amortized vs {} KB full per-user copy ({:.2}% of a copy); \
+         peak resident {} KB.",
+        stats.bytes_per_user(),
+        stats.full_copy_bytes / 1024,
+        stats.copy_fraction_per_user() * 100.0,
+        stats.peak_resident_bytes() / 1024,
+    );
+    println!(
+        "Federation: {} merge rounds absorbed {} observations; base at version {}.\n",
+        stats.merge_rounds, stats.merged_samples, stats.base_version,
     );
 }
 

@@ -254,7 +254,9 @@ pub mod test_runner {
 
 /// Everything a property-test file needs in scope.
 pub mod prelude {
-    pub use crate::{prop_assert, proptest, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
 }
 
 /// Asserts a condition inside a property body, failing the current case (with
@@ -274,6 +276,34 @@ macro_rules! prop_assert {
             )));
         }
     };
+}
+
+/// Asserts two expressions compare equal inside a property body, failing the
+/// current case with both values rendered, mirroring
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format_args!($($fmt)*),
+            left,
+            right
+        );
+    }};
 }
 
 #[doc(hidden)]
